@@ -1,0 +1,137 @@
+"""Ablation benches for the reproduction's design choices.
+
+Each bench quantifies one decision DESIGN.md commits to:
+
+* feature altitude — IR-level counts (where LLVM's cost model runs)
+  vs machine-lowered counts (post-scalarization);
+* feature sets — counts vs rated vs extended (the paper's "next
+  steps" features: VF, intensity, block shares, scalar composition);
+* measurement jitter — fitted-model quality as a function of the
+  simulated noise level;
+* branch-probability profiling — measured guard weights vs the flat
+  50% assumption in the scalar baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import (
+    ExtendedSpeedupModel,
+    RatedSpeedupModel,
+    SpeedupModel,
+    predict_all,
+    rated,
+)
+from repro.experiments import ARM_LLV, DatasetSpec, build_dataset
+from repro.experiments.reporting import ascii_table
+from repro.fitting import LeastSquares, NonNegativeLeastSquares
+from repro.validation import evaluate, pearson
+
+from conftest import print_once
+
+
+def test_bench_feature_altitude(benchmark, arm_dataset):
+    """IR-level vs machine-lowered features for the rated model."""
+    samples = arm_dataset.samples
+    measured = arm_dataset.measured
+
+    def fit_both():
+        ir_model = RatedSpeedupModel(LeastSquares()).fit(samples)
+        lowered = SpeedupModel(
+            LeastSquares(),
+            feature_fn=lambda s: rated(s.lowered_features),
+            label="rated-lowered",
+        ).fit(samples)
+        return (
+            pearson(predict_all(ir_model, samples), measured),
+            pearson(predict_all(lowered, samples), measured),
+        )
+
+    ir_r, lowered_r = benchmark(fit_both)
+    print_once(
+        "ablation-altitude",
+        f"feature altitude: IR-level r={ir_r:.3f}  machine-lowered r={lowered_r:.3f}",
+    )
+    # Both work — the machine stream carries the same information in a
+    # different encoding — but the IR-level features must be at least
+    # competitive, since they are what the paper's models consume.
+    assert ir_r > 0.6
+    assert abs(ir_r - lowered_r) < 0.25
+
+
+def test_bench_feature_sets(benchmark, arm_dataset):
+    """counts → rated → extended must be monotonically better (L2)."""
+    samples = arm_dataset.samples
+    measured = arm_dataset.measured
+
+    def fit_ladder():
+        out = {}
+        for label, model in (
+            ("counts", SpeedupModel(LeastSquares())),
+            ("rated", RatedSpeedupModel(LeastSquares())),
+            ("extended", ExtendedSpeedupModel(LeastSquares())),
+        ):
+            model.fit(samples)
+            out[label] = evaluate(label, predict_all(model, samples), measured)
+        return out
+
+    reports = benchmark(fit_ladder)
+    rows = [r.row() for r in reports.values()]
+    print_once("ablation-features", ascii_table(rows, title="Feature-set ladder (ARM, L2)"))
+    assert reports["rated"].pearson > reports["counts"].pearson
+    assert reports["extended"].pearson > reports["rated"].pearson
+
+
+def test_bench_jitter_sensitivity(benchmark):
+    """Model quality vs measurement-noise level."""
+
+    def sweep():
+        out = {}
+        for sigma in (0.0, 0.02, 0.10):
+            ds = build_dataset(DatasetSpec("armv8-neon", "llv", jitter=sigma))
+            model = RatedSpeedupModel(NonNegativeLeastSquares()).fit(ds.samples)
+            out[sigma] = pearson(predict_all(model, ds.samples), ds.measured)
+        return out
+
+    rs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_once(
+        "ablation-jitter",
+        "jitter sensitivity (rated-NNLS r): "
+        + ", ".join(f"σ={s:g}: {r:.3f}" for s, r in rs.items()),
+    )
+    # Clean measurements fit best; 2% noise costs little; 10% hurts.
+    assert rs[0.0] >= rs[0.10] - 0.02
+    assert rs[0.02] > 0.6
+
+
+def test_bench_guard_probability_profiling(benchmark):
+    """Measured branch weights vs the flat 50% default."""
+    from repro.codegen import lower_scalar
+    from repro.sim import analyze_stream, estimate_guard_probs
+    from repro.targets import ARMV8_NEON
+    from repro.tsvc import get_kernel
+
+    kern = get_kernel("s1279")  # nested guards, ~25% inner density
+
+    def both():
+        probs = estimate_guard_probs(kern)
+        profiled = analyze_stream(
+            lower_scalar(kern, ARMV8_NEON, guard_probs=probs), ARMV8_NEON
+        ).per_iter
+        flat = analyze_stream(
+            lower_scalar(kern, ARMV8_NEON, guard_probs={}), ARMV8_NEON
+        ).per_iter
+        return profiled, flat
+
+    profiled, flat = benchmark(both)
+    print_once(
+        "ablation-guards",
+        f"s1279 scalar cycles/iter: profiled={profiled:.3f} flat-50%={flat:.3f}",
+    )
+    # Profiling moves the estimate: with this data the nested branch is
+    # taken ~33% jointly (0.45 × 0.73), not the flat 25%, so the flat
+    # assumption *underestimates* the scalar cost here.
+    assert profiled != pytest.approx(flat)
+    probs = estimate_guard_probs(kern)
+    joint = probs[0] * probs[1]
+    assert 0.15 < joint < 0.6  # sanity on the measured branch density

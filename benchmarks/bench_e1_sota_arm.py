@@ -1,0 +1,29 @@
+"""E1 — state-of-the-art analysis on ARM (paper slide 4).
+
+Regenerates the static-cost-model-vs-measurement scatter for the TSVC
+suite on the NEON model and benchmarks the evaluation.
+"""
+
+import pytest
+
+from repro.costmodel import LLVMLikeCostModel, measured_speedups, predict_all
+from repro.experiments.drivers import run_e1
+from repro.validation import evaluate
+
+from conftest import print_once
+
+
+def test_bench_e1(benchmark, arm_dataset):
+    samples = arm_dataset.samples
+    measured = arm_dataset.measured
+
+    def figure():
+        model = LLVMLikeCostModel()
+        preds = predict_all(model, samples)
+        return evaluate(model.name, preds, measured)
+
+    report = benchmark(figure)
+    print_once("e1", run_e1().to_text())
+    # The baseline must show the weak correlation the paper opens with.
+    assert report.pearson < 0.8
+    assert report.confusion.false_predictions >= 3

@@ -1,0 +1,29 @@
+"""E3 — fitted for speedup on ARM (paper slide 8): L2 and NNLS."""
+
+from repro.costmodel import SpeedupModel, measured_speedups, predict_all
+from repro.experiments.drivers import run_e3
+from repro.fitting import LeastSquares, NonNegativeLeastSquares
+from repro.validation import evaluate
+
+from conftest import print_once
+
+
+def test_bench_e3(benchmark, arm_dataset):
+    samples = arm_dataset.samples
+    measured = arm_dataset.measured
+
+    def figure():
+        out = {}
+        for reg in (LeastSquares(), NonNegativeLeastSquares()):
+            model = SpeedupModel(reg).fit(samples)
+            out[model.name] = evaluate(
+                model.name, predict_all(model, samples), measured
+            )
+        return out
+
+    reports = benchmark(figure)
+    print_once("e3", run_e3().to_text(include_scatter=False))
+    # Speedup targets live in (0, VF]: the fits must land far closer
+    # in RMSE than the baseline's wide-interval mispredictions.
+    assert reports["speedup-L2"].rmse < 1.6
+    assert reports["speedup-L2"].pearson > 0.3

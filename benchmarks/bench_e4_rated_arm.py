@@ -1,0 +1,36 @@
+"""E4 — rated instruction count on ARM (paper slide 10)."""
+
+from repro.costmodel import (
+    LLVMLikeCostModel,
+    RatedSpeedupModel,
+    SpeedupModel,
+    predict_all,
+)
+from repro.experiments.drivers import run_e4
+from repro.fitting import NonNegativeLeastSquares
+from repro.validation import evaluate
+
+from conftest import print_once
+
+
+def test_bench_e4(benchmark, arm_dataset):
+    samples = arm_dataset.samples
+    measured = arm_dataset.measured
+
+    def figure():
+        rated = RatedSpeedupModel(NonNegativeLeastSquares()).fit(samples)
+        counts = SpeedupModel(NonNegativeLeastSquares()).fit(samples)
+        return (
+            evaluate("rated", predict_all(rated, samples), measured),
+            evaluate("counts", predict_all(counts, samples), measured),
+        )
+
+    rated_rep, counts_rep = benchmark(figure)
+    print_once("e4", run_e4().to_text(include_scatter=False))
+    # Composition features beat raw counts — the slide-10 result.
+    assert rated_rep.pearson > counts_rep.pearson
+    assert rated_rep.pearson > 0.6
+    baseline = evaluate(
+        "base", predict_all(LLVMLikeCostModel(), samples), measured
+    )
+    assert rated_rep.pearson > baseline.pearson

@@ -1,0 +1,32 @@
+"""E5 — leave-one-out cross validation with NNLS (paper slide 11)."""
+
+import numpy as np
+
+from repro.costmodel import RatedSpeedupModel
+from repro.experiments.drivers import run_e5
+from repro.fitting import NonNegativeLeastSquares
+from repro.validation import evaluate, loocv_predictions, pearson
+
+from conftest import print_once
+
+
+def test_bench_e5(benchmark, arm_dataset):
+    samples = arm_dataset.samples
+    measured = arm_dataset.measured
+
+    def figure():
+        return loocv_predictions(
+            lambda: RatedSpeedupModel(NonNegativeLeastSquares()), samples
+        )
+
+    preds = benchmark(figure)
+    print_once("e5", run_e5().to_text(include_scatter=False))
+    loocv_r = pearson(preds, measured)
+    fit_model = RatedSpeedupModel(NonNegativeLeastSquares()).fit(samples)
+    from repro.costmodel import predict_all
+
+    fit_r = pearson(predict_all(fit_model, samples), measured)
+    # LOOCV generalizes: close to (and no better than ~noise above)
+    # the fit-on-everything correlation.
+    assert loocv_r > fit_r - 0.25
+    assert loocv_r > 0.45

@@ -1,0 +1,42 @@
+"""E6 — conclusion metrics (paper slide 12): correlation up, false
+predictions down, execution time down."""
+
+from repro.costmodel import LLVMLikeCostModel, RatedSpeedupModel, predict_all
+from repro.experiments.drivers import run_e6
+from repro.fitting import NonNegativeLeastSquares
+from repro.validation import (
+    confusion,
+    oracle_cycles,
+    pearson,
+    policy_cycles,
+)
+
+from conftest import print_once
+
+
+def test_bench_e6(benchmark, arm_dataset):
+    samples = arm_dataset.samples
+    measured = arm_dataset.measured
+
+    def figure():
+        base = LLVMLikeCostModel()
+        base_preds = predict_all(base, samples)
+        rated = RatedSpeedupModel(NonNegativeLeastSquares()).fit(samples)
+        rated_preds = predict_all(rated, samples)
+        return {
+            "base_r": pearson(base_preds, measured),
+            "rated_r": pearson(rated_preds, measured),
+            "base_false": confusion(base_preds, measured).false_predictions,
+            "rated_false": confusion(rated_preds, measured).false_predictions,
+            "base_cycles": policy_cycles(samples, base_preds).cycles,
+            "rated_cycles": policy_cycles(samples, rated_preds).cycles,
+            "oracle_cycles": oracle_cycles(samples).cycles,
+        }
+
+    m = benchmark(figure)
+    print_once("e6", run_e6().to_text())
+    # The three conclusion claims:
+    assert m["rated_r"] > m["base_r"]                      # correlation ↑
+    assert m["rated_false"] <= m["base_false"]             # false preds ↓
+    assert m["rated_cycles"] <= m["base_cycles"] + 1e-9    # exec time ↓
+    assert m["oracle_cycles"] <= m["rated_cycles"] + 1e-9

@@ -1,0 +1,24 @@
+"""E7 — LLV vs SLP on the same loop (paper slide 15)."""
+
+from repro.experiments.drivers import run_e7
+from repro.sim import measure_kernel
+from repro.targets import ARMV8_NEON
+from repro.tsvc import get_kernel
+
+from conftest import print_once
+
+
+def test_bench_e7(benchmark):
+    kern = get_kernel("s273")
+
+    def figure():
+        llv = measure_kernel(kern, ARMV8_NEON, vectorizer="llv")
+        slp = measure_kernel(kern, ARMV8_NEON, vectorizer="slp")
+        return llv.speedup, slp.speedup
+
+    llv_speedup, slp_speedup = benchmark(figure)
+    print_once("e7", run_e7().to_text())
+    # The two transformations genuinely differ on this loop (LLV
+    # if-converts the guarded statement; SLP leaves it scalar).
+    assert llv_speedup != slp_speedup
+    assert llv_speedup > 1.0

@@ -1,0 +1,25 @@
+"""E8 — leave-one-out cross validation with L2 (paper slide 16)."""
+
+from repro.costmodel import RatedSpeedupModel, SpeedupModel
+from repro.experiments.drivers import run_e8
+from repro.fitting import LeastSquares
+from repro.validation import loocv_predictions, pearson
+
+from conftest import print_once
+
+
+def test_bench_e8(benchmark, arm_dataset):
+    samples = arm_dataset.samples
+    measured = arm_dataset.measured
+
+    def figure():
+        counts = loocv_predictions(lambda: SpeedupModel(LeastSquares()), samples)
+        rated = loocv_predictions(
+            lambda: RatedSpeedupModel(LeastSquares()), samples
+        )
+        return pearson(counts, measured), pearson(rated, measured)
+
+    counts_r, rated_r = benchmark(figure)
+    print_once("e8", run_e8().to_text(include_scatter=False))
+    assert rated_r > counts_r  # the feature ranking survives LOOCV
+    assert rated_r > 0.5

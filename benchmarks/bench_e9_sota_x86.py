@@ -1,0 +1,23 @@
+"""E9 — state-of-the-art analysis on x86 (paper slide 17): SLP after
+unrolling, AVX2."""
+
+from repro.costmodel import LLVMLikeCostModel, predict_all
+from repro.experiments.drivers import run_e9
+from repro.validation import evaluate
+
+from conftest import print_once
+
+
+def test_bench_e9(benchmark, x86_dataset):
+    samples = x86_dataset.samples
+    measured = x86_dataset.measured
+
+    def figure():
+        return evaluate(
+            "llvm-static", predict_all(LLVMLikeCostModel(), samples), measured
+        )
+
+    report = benchmark(figure)
+    print_once("e9", run_e9().to_text())
+    assert report.pearson < 0.5  # the x86 baseline correlates poorly
+    assert len(samples) >= 40

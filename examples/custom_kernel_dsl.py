@@ -1,0 +1,84 @@
+"""Write kernels in the C-like textual frontend and analyze them.
+
+Run:  python examples/custom_kernel_dsl.py
+"""
+
+from repro import get_target, measure_kernel
+from repro.analysis import analyze_dependences, classify_scalars
+from repro.frontend import parse_kernel
+from repro.vectorize import VectorizationFailure
+
+SOURCES = {
+    "stencil": """
+        kernel stencil {
+            f32 out[32000], in[32000];
+            for (i = 0; i < 31998; i++) {
+                out[i + 1] = (in[i] + in[i + 1] + in[i + 2]) * 0.333;
+            }
+        }
+    """,
+    "gather_dot": """
+        kernel gather_dot {
+            f32 a[32000], b[32000];
+            i32 idx[32000];
+            f32 acc = 0.0;
+            for (i = 0; i < 32000; i++) {
+                acc = acc + a[i] * b[idx[i]];
+            }
+        }
+    """,
+    "clip": """
+        kernel clip {
+            f32 x[32000];
+            f32 lo = -0.5, hi = 0.5;
+            for (i = 0; i < 32000; i++) {
+                x[i] = min(max(x[i], lo), hi);
+            }
+        }
+    """,
+    "prefix_sum": """
+        kernel prefix_sum {
+            f32 a[32000], b[32000];
+            f32 run = 0.0;
+            for (i = 0; i < 32000; i++) {
+                run = run + a[i];
+                b[i] = run;
+            }
+        }
+    """,
+    "recurrence": """
+        kernel recurrence {
+            f32 a[32000], b[32000];
+            for (i = 0; i < 31999; i++) {
+                a[i + 1] = a[i] * 0.9 + b[i + 1];
+            }
+        }
+    """,
+}
+
+arm = get_target("arm")
+x86 = get_target("x86")
+
+for name, source in SOURCES.items():
+    kernel = parse_kernel(source)
+    deps = analyze_dependences(kernel)
+    scalars = classify_scalars(kernel)
+
+    print(f"== {name} ==")
+    if deps.dependences:
+        for d in deps.dependences:
+            print(f"  dependence: {d}")
+    for sname, info in scalars.items():
+        print(f"  scalar {sname}: {info.klass.value}"
+              + (f" ({info.op.value} reduction)" if info.op else ""))
+
+    for target in (arm, x86):
+        result = measure_kernel(kernel, target)
+        if isinstance(result, VectorizationFailure):
+            print(f"  {target.name}: NOT vectorizable — {result.reason}")
+        else:
+            print(
+                f"  {target.name}: VF={result.vf}, measured speedup "
+                f"{result.speedup:.2f} ({result.vector_breakdown.bound}-bound)"
+            )
+    print()

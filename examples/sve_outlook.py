@@ -1,0 +1,75 @@
+"""Extension study: the cost-model landscape on a hypothetical SVE core.
+
+The paper evaluates NEON (ARMv8); SVE was arriving as it was written.
+This script re-runs the study on a 256-bit SVE-class machine model
+(hardware gather/scatter, native predication) and asks two questions:
+
+1. how do measured speedups shift when the lanes double but memory
+   bandwidth does not (more kernels go bandwidth-bound)?
+2. does a cost model fitted on NEON measurements transfer to SVE, or
+   does each target need its own fit (the paper's premise)?
+
+Run:  python examples/sve_outlook.py
+"""
+
+import numpy as np
+
+from repro import RatedSpeedupModel, build_dataset, get_target
+from repro.costmodel import predict_all
+from repro.experiments import ARM_LLV, DatasetSpec
+from repro.experiments.reporting import ascii_table
+from repro.fitting import NonNegativeLeastSquares
+from repro.validation import evaluate
+
+neon_ds = build_dataset(ARM_LLV)
+sve_ds = build_dataset(DatasetSpec("armv9-sve", "llv"))
+
+print(neon_ds.summary())
+print(sve_ds.summary())
+
+# -- 1. per-pattern shift -----------------------------------------------------
+
+rows = []
+for name in ("s000", "vbor", "vag", "s491", "s271", "s2101", "vsumr", "s451"):
+    row = {"kernel": name}
+    for ds, label in ((neon_ds, "NEON (VF4)"), (sve_ds, "SVE (VF8)")):
+        try:
+            s = ds.sample(name)
+            row[label] = f"{s.measured_speedup:.2f}x [{s.vector_bound}]"
+        except KeyError:
+            row[label] = "—"
+    rows.append(row)
+print()
+print(ascii_table(rows, title="Measured speedup: NEON vs hypothetical SVE"))
+
+neon_mem = sum(1 for s in neon_ds.samples if s.vector_bound == "memory")
+sve_mem = sum(1 for s in sve_ds.samples if s.vector_bound == "memory")
+print(
+    f"\nmemory-bound kernels: {neon_mem}/{len(neon_ds.samples)} on NEON -> "
+    f"{sve_mem}/{len(sve_ds.samples)} on SVE (wider lanes, same bandwidth)"
+)
+
+# -- 2. does the NEON-fitted model transfer? -------------------------------------
+
+native = RatedSpeedupModel(NonNegativeLeastSquares()).fit(sve_ds.samples)
+transferred = RatedSpeedupModel(NonNegativeLeastSquares()).fit(neon_ds.samples)
+
+sve_measured = sve_ds.measured
+rows = [
+    evaluate(
+        "fitted on SVE (native)", predict_all(native, sve_ds.samples), sve_measured
+    ).row(),
+    evaluate(
+        "fitted on NEON (transferred)",
+        predict_all(transferred, sve_ds.samples),
+        sve_measured,
+    ).row(),
+]
+print()
+print(ascii_table(rows, title="Predicting SVE speedups"))
+print(
+    "\nThe transferred model inherits NEON's weights — e.g. it cannot "
+    "know SVE's gathers are real instructions rather than insert "
+    "chains — so the native fit wins: cost models are per-target "
+    "artifacts, which is the paper's premise."
+)

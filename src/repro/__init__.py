@@ -1,0 +1,144 @@
+"""repro — reproduction of *Cost Modelling for Vectorization on ARM*
+(Pohl, Cosenza, Juurlink, 2018).
+
+The package is a vertical slice of an auto-vectorizing compiler plus
+the measurement and modelling study built on top of it:
+
+* :mod:`repro.ir` — a small loop IR with a Pythonic builder DSL;
+* :mod:`repro.analysis` — dependence, access-pattern and reduction analyses;
+* :mod:`repro.vectorize` — legality, an LLV-style loop vectorizer,
+  an unroller, and an SLP-style vectorizer;
+* :mod:`repro.codegen` — lowering to machine instruction streams for
+  the modelled targets;
+* :mod:`repro.targets` — ARMv8 NEON and x86 AVX2 machine models;
+* :mod:`repro.sim` — functional execution (correctness oracle) and an
+  analytical timing model (the "measurement" substrate);
+* :mod:`repro.costmodel` / :mod:`repro.fitting` — the paper's cost
+  models (static baseline, fitted cost, fitted speedup, rated) and the
+  L2 / NNLS / SVR fitting backends;
+* :mod:`repro.validation` — correlation/false-prediction metrics,
+  LOOCV, decision-policy evaluation;
+* :mod:`repro.tsvc` — all 151 TSVC kernels;
+* :mod:`repro.experiments` — one driver per paper figure
+  (``python -m repro.experiments all``).
+
+Quickstart::
+
+    from repro import (
+        KernelBuilder, get_target, vectorize_loop, measure_kernel
+    )
+
+    k = KernelBuilder("saxpy")
+    a, b = k.arrays("a", "b")
+    alpha = k.param("alpha", value=2.0)
+    i = k.loop(32000)
+    a[i] = a[i] + alpha * b[i]
+    kernel = k.build()
+
+    sample = measure_kernel(kernel, get_target("arm"))
+    print(sample)   # measured vectorization speedup on the NEON model
+"""
+
+from .ir import (
+    DType,
+    KernelBuilder,
+    LoopKernel,
+    cast,
+    fabs,
+    fexp,
+    fmax,
+    fmin,
+    fsqrt,
+    select,
+)
+from .targets import ARMV8_NEON, GENERIC_IR, Target, X86_AVX2, get_target
+from .vectorize import (
+    VectorizationFailure,
+    VectorizationPlan,
+    check_legality,
+    natural_vf,
+    slp_vectorize,
+    unroll,
+    vectorize_loop,
+)
+from .codegen import lower_scalar, lower_vector
+from .sim import (
+    MeasuredSample,
+    analyze_stream,
+    make_buffers,
+    measure_kernel,
+    measure_plan,
+    run_scalar,
+    run_vector,
+)
+from .costmodel import (
+    LLVMLikeCostModel,
+    LinearCostModel,
+    RatedSpeedupModel,
+    Sample,
+    SpeedupModel,
+    sample_from_measurement,
+)
+from .fitting import LeastSquares, LinearSVR, NonNegativeLeastSquares, make_regressor
+from .validation import confusion, evaluate, loocv_predictions, pearson, spearman
+from .tsvc import all_kernels, get_kernel, kernel_names, suite_size
+from .experiments import build_dataset, run_all, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DType",
+    "KernelBuilder",
+    "LoopKernel",
+    "cast",
+    "fabs",
+    "fexp",
+    "fmax",
+    "fmin",
+    "fsqrt",
+    "select",
+    "ARMV8_NEON",
+    "GENERIC_IR",
+    "Target",
+    "X86_AVX2",
+    "get_target",
+    "VectorizationFailure",
+    "VectorizationPlan",
+    "check_legality",
+    "natural_vf",
+    "slp_vectorize",
+    "unroll",
+    "vectorize_loop",
+    "lower_scalar",
+    "lower_vector",
+    "MeasuredSample",
+    "analyze_stream",
+    "make_buffers",
+    "measure_kernel",
+    "measure_plan",
+    "run_scalar",
+    "run_vector",
+    "LLVMLikeCostModel",
+    "LinearCostModel",
+    "RatedSpeedupModel",
+    "Sample",
+    "SpeedupModel",
+    "sample_from_measurement",
+    "LeastSquares",
+    "LinearSVR",
+    "NonNegativeLeastSquares",
+    "make_regressor",
+    "confusion",
+    "evaluate",
+    "loocv_predictions",
+    "pearson",
+    "spearman",
+    "all_kernels",
+    "get_kernel",
+    "kernel_names",
+    "suite_size",
+    "build_dataset",
+    "run_all",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Kernel analyses: access patterns, dependences, scalar classification."""
+
+from .access import (
+    AccessInfo,
+    AccessPattern,
+    classify_stride,
+    collect_accesses,
+    dim_strides,
+    linearize,
+)
+from .dependence import (
+    DepKind,
+    DepStatus,
+    Dependence,
+    DependenceInfo,
+    analyze_dependences,
+)
+from .intensity import (
+    COMPUTE_CLASSES,
+    IntensityReport,
+    analyze_intensity,
+    machine_balance,
+    memory_bound_ratio,
+)
+from .reduction import (
+    REDUCTION_IDENTITY,
+    ScalarClass,
+    ScalarInfo,
+    classify_scalars,
+    recurrences_of,
+    reductions_of,
+)
+
+__all__ = [
+    "AccessInfo",
+    "AccessPattern",
+    "classify_stride",
+    "collect_accesses",
+    "dim_strides",
+    "linearize",
+    "DepKind",
+    "DepStatus",
+    "Dependence",
+    "DependenceInfo",
+    "analyze_dependences",
+    "COMPUTE_CLASSES",
+    "IntensityReport",
+    "analyze_intensity",
+    "machine_balance",
+    "memory_bound_ratio",
+    "REDUCTION_IDENTITY",
+    "ScalarClass",
+    "ScalarInfo",
+    "classify_scalars",
+    "recurrences_of",
+    "reductions_of",
+]

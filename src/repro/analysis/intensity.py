@@ -1,0 +1,108 @@
+"""Arithmetic-intensity analysis of lowered streams.
+
+Slide 9's diagnosis — "arithmetic intensity can have a major impact on
+speedup, e.g. if code is memory bound" — motivates the rated feature
+set.  This module computes the quantity directly: flops (or more
+generally, compute operations) per byte of memory traffic, plus the
+machine-balance comparison that predicts memory-boundedness.  The
+extended cost model (the paper's "add more code features" next step)
+uses these as explicit features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codegen.minstr import MStream
+from ..targets.base import Target
+from ..targets.classes import IClass, MEMORY_CLASSES
+
+#: Instruction classes counted as "compute" for intensity purposes.
+COMPUTE_CLASSES = frozenset(
+    {
+        IClass.ADD,
+        IClass.MUL,
+        IClass.FMA,
+        IClass.DIV,
+        IClass.SQRT,
+        IClass.EXP,
+        IClass.ABS,
+        IClass.MINMAX,
+        IClass.CMP,
+        IClass.BLEND,
+        IClass.LOGIC,
+        IClass.SHIFT,
+        IClass.CVT,
+    }
+)
+
+#: Operations one instruction of a class performs per lane (FMA is 2).
+OPS_PER_LANE = {IClass.FMA: 2.0, IClass.EXP: 8.0}
+
+
+@dataclass(frozen=True)
+class IntensityReport:
+    """Compute/traffic profile of one stream."""
+
+    ops_per_iter: float
+    bytes_per_iter: float
+    elems_per_iter: int
+
+    @property
+    def intensity(self) -> float:
+        """Operations per byte of traffic (∞-safe: 0 bytes → big)."""
+        if self.bytes_per_iter <= 0:
+            return float("inf") if self.ops_per_iter > 0 else 0.0
+        return self.ops_per_iter / self.bytes_per_iter
+
+    @property
+    def ops_per_elem(self) -> float:
+        return self.ops_per_iter / max(1, self.elems_per_iter)
+
+    @property
+    def bytes_per_elem(self) -> float:
+        return self.bytes_per_iter / max(1, self.elems_per_iter)
+
+
+def analyze_intensity(stream: MStream) -> IntensityReport:
+    """Arithmetic intensity of a lowered stream (per body iteration)."""
+    ops = 0.0
+    for ins in stream.body:
+        if ins.iclass in COMPUTE_CLASSES:
+            ops += ins.weight * ins.lanes * OPS_PER_LANE.get(ins.iclass, 1.0)
+    return IntensityReport(
+        ops_per_iter=ops,
+        bytes_per_iter=stream.bytes_per_iter(),
+        elems_per_iter=stream.elems_per_iter,
+    )
+
+
+def machine_balance(target: Target, working_set_bytes: int) -> float:
+    """The target's ops-per-byte break-even point for a working set.
+
+    Peak compute throughput here is the FP-port count (one op per port
+    per cycle — FMA counts double) against the sustainable bandwidth of
+    the cache level the working set lands in.  Streams whose intensity
+    falls below this balance are bandwidth-bound.
+    """
+    fp_ports = target.ports.get("fp", 1)
+    # 2 ops/FMA × ports × f32 lanes per full vector register.
+    peak_ops_per_cycle = 2.0 * fp_ports * (target.vector_bits // 32)
+    bw = target.cache.bandwidth_for(working_set_bytes)
+    return peak_ops_per_cycle / bw
+
+
+def memory_bound_ratio(
+    stream: MStream, target: Target
+) -> float:
+    """How far below machine balance the stream sits (>1 ⇒ memory-bound).
+
+    Ratio of the machine's balance point to the stream's intensity;
+    values above 1 mean the stream cannot feed the FP pipes from the
+    cache level its working set occupies.
+    """
+    report = analyze_intensity(stream)
+    balance = machine_balance(target, stream.working_set_bytes)
+    if report.intensity <= 0:
+        return float("inf")
+    return balance / report.intensity

@@ -1,0 +1,275 @@
+"""Scalar recurrence classification: reductions vs serial recurrences.
+
+Every scalar a kernel assigns is classified as
+
+* ``PRIVATE``   — (re)defined before use each iteration (a temporary);
+* ``REDUCTION`` — a vectorizable associative update (``+ * min max``),
+  optionally guarded (``if (a[i] > 0) sum += a[i]``) or expressed as a
+  compare-and-assign (``if (a[i] > x) x = a[i]``) / select idiom;
+* ``RECURRENCE`` — its previous-iteration value is observed in any
+  other way, which serializes the loop (TSVC's s2xx family).
+
+This mirrors LLVM's reduction/induction recognition, which the paper's
+LLV configuration relies on to vectorize the TSVC reduction kernels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.expr import (
+    BinOp,
+    BinOpKind,
+    CmpKind,
+    Compare,
+    Expr,
+    REDUCTION_BINOPS,
+    ScalarRef,
+    Select,
+)
+from ..ir.kernel import LoopKernel
+from ..ir.stmt import ArrayStore, IfBlock, ScalarAssign, Stmt
+
+
+class ScalarClass(enum.Enum):
+    PARAM = "param"          # never written
+    PRIVATE = "private"      # defined-before-use temporary
+    REDUCTION = "reduction"  # associative accumulator
+    RECURRENCE = "recurrence"  # serializing loop-carried scalar
+
+
+#: Identity element per reduction operator (used to fill masked lanes
+#: and to seed the vector accumulator).
+REDUCTION_IDENTITY = {
+    BinOpKind.ADD: 0.0,
+    BinOpKind.MUL: 1.0,
+    BinOpKind.MIN: float("inf"),
+    BinOpKind.MAX: float("-inf"),
+}
+
+
+@dataclass(frozen=True)
+class ScalarInfo:
+    name: str
+    klass: ScalarClass
+    op: Optional[BinOpKind] = None  # set for reductions
+    guarded: bool = False           # reduction guarded by a condition
+
+
+@dataclass
+class _Event:
+    kind: str  # "read" | "write"
+    guard_depth: int
+    stmt: Optional[Stmt] = None
+
+
+def _reads_in(expr: Expr, name: str) -> bool:
+    return any(isinstance(n, ScalarRef) and n.name == name for n in expr.walk())
+
+
+def _scalar_events(body, name: str, depth: int = 0) -> list[_Event]:
+    """Read/write events for ``name`` in program order.
+
+    The reads inside an assignment's RHS are emitted before its write,
+    matching execution order.
+    """
+    events: list[_Event] = []
+    for stmt in body:
+        if isinstance(stmt, ScalarAssign):
+            if _reads_in(stmt.value, name):
+                events.append(_Event("read", depth, stmt))
+            if stmt.name == name:
+                events.append(_Event("write", depth, stmt))
+        elif isinstance(stmt, ArrayStore):
+            if _reads_in(stmt.value, name):
+                events.append(_Event("read", depth, stmt))
+        elif isinstance(stmt, IfBlock):
+            if _reads_in(stmt.cond, name):
+                events.append(_Event("read", depth, stmt))
+            events.extend(_scalar_events(stmt.then_body, name, depth + 1))
+            events.extend(_scalar_events(stmt.else_body, name, depth + 1))
+    return events
+
+
+def _match_plain_reduction(stmt: ScalarAssign) -> Optional[BinOpKind]:
+    """``s = s ⊕ e₁ ⊕ e₂ ⊕ …`` with associative ⊕ and s-free eᵢ.
+
+    The operand tree is flattened over the top-level operator so
+    hand-unrolled accumulations (TSVC s352's five-term dot product)
+    match just like the single-term form.
+    """
+    v = stmt.value
+    if not isinstance(v, BinOp) or v.op not in REDUCTION_BINOPS:
+        return None
+    name = stmt.name
+    leaves: list[Expr] = []
+    _flatten(v, v.op, leaves)
+    s_leaves = [
+        leaf
+        for leaf in leaves
+        if isinstance(leaf, ScalarRef) and leaf.name == name
+    ]
+    if len(s_leaves) != 1:
+        return None
+    others_clean = all(
+        not _reads_in(leaf, name) for leaf in leaves if leaf is not s_leaves[0]
+    )
+    return v.op if others_clean else None
+
+
+def _flatten(expr: Expr, op: BinOpKind, out: list) -> None:
+    if isinstance(expr, BinOp) and expr.op is op:
+        _flatten(expr.lhs, op, out)
+        _flatten(expr.rhs, op, out)
+    else:
+        out.append(expr)
+
+
+def _match_select_minmax(stmt: ScalarAssign) -> Optional[BinOpKind]:
+    """``s = (e cmp s) ? e : s`` and permutations → min/max."""
+    v = stmt.value
+    if not isinstance(v, Select) or not isinstance(v.cond, Compare):
+        return None
+    name = stmt.name
+
+    def is_s(e: Expr) -> bool:
+        return isinstance(e, ScalarRef) and e.name == name
+
+    t, f, c = v.if_true, v.if_false, v.cond
+    # One arm must keep s, the other supply the candidate value.
+    if is_s(f) and not _reads_in(t, name):
+        candidate_on_true = True
+    elif is_s(t) and not _reads_in(f, name):
+        candidate_on_true = False
+    else:
+        return None
+    op = _minmax_from_cmp(c, name)
+    if op is None:
+        return None
+    if not candidate_on_true:
+        # The candidate is taken when the comparison is false, which
+        # inverts the min/max sense.
+        op = BinOpKind.MIN if op is BinOpKind.MAX else BinOpKind.MAX
+    return op
+
+
+def _minmax_from_cmp(c: Compare, name: str) -> Optional[BinOpKind]:
+    def is_s(e: Expr) -> bool:
+        return isinstance(e, ScalarRef) and e.name == name
+
+    # ``e > s`` selecting e → max; ``e < s`` → min (and mirrored forms).
+    if is_s(c.rhs) and not _reads_in(c.lhs, name):
+        if c.op in (CmpKind.GT, CmpKind.GE):
+            return BinOpKind.MAX
+        if c.op in (CmpKind.LT, CmpKind.LE):
+            return BinOpKind.MIN
+    if is_s(c.lhs) and not _reads_in(c.rhs, name):
+        if c.op in (CmpKind.LT, CmpKind.LE):
+            return BinOpKind.MAX
+        if c.op in (CmpKind.GT, CmpKind.GE):
+            return BinOpKind.MIN
+    return None
+
+
+def _match_guarded_minmax(kernel: LoopKernel, name: str) -> Optional[BinOpKind]:
+    """``if (e cmp s) s = e;`` at the top level of the body."""
+    for stmt in kernel.body:
+        if not isinstance(stmt, IfBlock) or stmt.else_body:
+            continue
+        if len(stmt.then_body) != 1:
+            continue
+        inner = stmt.then_body[0]
+        if not isinstance(inner, ScalarAssign) or inner.name != name:
+            continue
+        if _reads_in(inner.value, name):
+            continue
+        if not isinstance(stmt.cond, Compare):
+            continue
+        op = _minmax_from_cmp(stmt.cond, name)
+        if op is not None:
+            return op
+    return None
+
+
+def classify_scalars(kernel: LoopKernel) -> dict[str, ScalarInfo]:
+    """Classify every declared scalar of ``kernel``."""
+    out: dict[str, ScalarInfo] = {}
+    for name in kernel.scalars:
+        events = _scalar_events(kernel.body, name)
+        writes = [e for e in events if e.kind == "write"]
+        if not writes:
+            out[name] = ScalarInfo(name, ScalarClass.PARAM)
+            continue
+
+        first = events[0]
+        if first.kind == "write" and first.guard_depth == 0:
+            # Defined before any use, unconditionally → iteration-private.
+            out[name] = ScalarInfo(name, ScalarClass.PRIVATE)
+            continue
+
+        write_stmts = {id(w.stmt) for w in writes}
+        # Reads of the scalar must all belong to the updates themselves
+        # (the RHS reads and, for guarded forms, the guards).
+        extra_reads = [
+            e
+            for e in events
+            if e.kind == "read"
+            and id(e.stmt) not in write_stmts
+            and not any(
+                _is_guard_of(kernel, e.stmt, w.stmt) for w in writes
+            )
+        ]
+        if not extra_reads:
+            # Every update must match the same associative operator —
+            # chained updates (``sum += a[i]; ... sum += b[i];``) are
+            # still one reduction (TSVC s319).
+            ops = set()
+            for w in writes:
+                wstmt = w.stmt
+                assert isinstance(wstmt, ScalarAssign)
+                op = _match_plain_reduction(wstmt) or _match_select_minmax(wstmt)
+                ops.add(op)
+            if len(ops) == 1 and None not in ops:
+                out[name] = ScalarInfo(
+                    name,
+                    ScalarClass.REDUCTION,
+                    op=ops.pop(),
+                    guarded=any(w.guard_depth > 0 for w in writes),
+                )
+                continue
+            if len(writes) == 1:
+                op = _match_guarded_minmax(kernel, name)
+                if op is not None:
+                    out[name] = ScalarInfo(
+                        name, ScalarClass.REDUCTION, op=op, guarded=True
+                    )
+                    continue
+        out[name] = ScalarInfo(name, ScalarClass.RECURRENCE)
+    return out
+
+
+def _is_guard_of(kernel: LoopKernel, read_stmt, write_stmt) -> bool:
+    """True if ``read_stmt`` is an IfBlock directly guarding ``write_stmt``."""
+    if not isinstance(read_stmt, IfBlock):
+        return False
+    return any(s is write_stmt for s in read_stmt.then_body) or any(
+        s is write_stmt for s in read_stmt.else_body
+    )
+
+
+def reductions_of(kernel: LoopKernel) -> list[ScalarInfo]:
+    return [
+        info
+        for info in classify_scalars(kernel).values()
+        if info.klass is ScalarClass.REDUCTION
+    ]
+
+
+def recurrences_of(kernel: LoopKernel) -> list[ScalarInfo]:
+    return [
+        info
+        for info in classify_scalars(kernel).values()
+        if info.klass is ScalarClass.RECURRENCE
+    ]

@@ -1,0 +1,22 @@
+"""Code generation: kernels and plans → machine instruction streams."""
+
+from .minstr import MInstr, MStream, StreamBuilder
+from .lowering import BINOP_CLASS, UNOP_CLASS, BaseLowerer, LowerError, access_traffic
+from .scalar_gen import DEFAULT_GUARD_PROB, ScalarLowerer, lower_scalar
+from .vector_gen import VectorLowerer, lower_vector
+
+__all__ = [
+    "MInstr",
+    "MStream",
+    "StreamBuilder",
+    "BINOP_CLASS",
+    "UNOP_CLASS",
+    "BaseLowerer",
+    "LowerError",
+    "access_traffic",
+    "DEFAULT_GUARD_PROB",
+    "ScalarLowerer",
+    "lower_scalar",
+    "VectorLowerer",
+    "lower_vector",
+]

@@ -1,0 +1,86 @@
+"""Cost-model interfaces and the dataset sample they consume.
+
+A :class:`Sample` is one TSVC kernel's view for the modelling study:
+the scalar and vector instruction-mix features, the VF, and the
+measured timings.  Cost models implement ``predict_speedup(sample)``;
+fitted models additionally implement ``fit(samples)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..sim.measure import MeasuredSample
+from .featurize import feature_vector
+
+#: Floor for predicted/implied costs and speedups (guards divisions).
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One kernel × target datapoint of the study."""
+
+    name: str
+    category: str
+    target: str
+    vf: int
+    scalar_features: np.ndarray  # per scalar iteration
+    #: IR-level instruction mix of the vector block (what LLVM's cost
+    #: model sees: one gather, one masked store, one vector intrinsic)
+    vector_features: np.ndarray  # per vector iteration (VF elements)
+    measured_speedup: float
+    measured_scalar_cpi: float  # cycles per scalar iteration
+    measured_vector_cpi: float  # cycles per vector iteration
+    vector_bound: str = ""      # "compute" | "memory" | "recurrence"
+    #: machine-lowered instruction mix (post-scalarization; used by the
+    #: ablation benches to quantify the IR-vs-machine feature choice)
+    lowered_features: Optional[np.ndarray] = None
+
+    @property
+    def measured_beneficial(self) -> bool:
+        return self.measured_speedup > 1.0
+
+    def with_speedup(self, speedup: float) -> "Sample":
+        return replace(self, measured_speedup=speedup)
+
+
+def sample_from_measurement(m: MeasuredSample, category: str = "") -> Sample:
+    """Convert a measurement into the model-facing datapoint."""
+    return Sample(
+        name=m.kernel.name,
+        category=category or m.kernel.category,
+        target=m.target.name,
+        vf=m.vf,
+        scalar_features=feature_vector(m.scalar_stream),
+        vector_features=feature_vector(m.ir_vector_stream),
+        lowered_features=feature_vector(m.vector_stream),
+        measured_speedup=m.speedup,
+        measured_scalar_cpi=m.scalar_breakdown.per_iter,
+        measured_vector_cpi=m.vector_breakdown.per_iter,
+        vector_bound=m.vector_breakdown.bound,
+    )
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """Anything that predicts a vectorization speedup for a sample."""
+
+    name: str
+
+    def predict_speedup(self, sample: Sample) -> float: ...
+
+
+class FittedModel(CostModel, Protocol):
+    def fit(self, samples: Sequence[Sample]) -> "FittedModel": ...
+
+
+def predict_all(model: CostModel, samples: Sequence[Sample]) -> np.ndarray:
+    return np.array([model.predict_speedup(s) for s in samples])
+
+
+def measured_speedups(samples: Sequence[Sample]) -> np.ndarray:
+    return np.array([s.measured_speedup for s in samples])

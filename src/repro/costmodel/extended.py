@@ -1,0 +1,92 @@
+"""Extended feature sets — the paper's stated next step.
+
+The conclusion slide ends with "Next steps: add more code features and
+tests to cover all instruction types."  This module implements that
+extension on top of the rated model:
+
+* the vectorization factor (pure fractions lose the scale of the
+  achievable speedup);
+* arithmetic intensity of the vector block (ops per byte — the
+  quantity slide 9 gestures at through composition);
+* the memory-op share and the lane-movement (packing-overhead) share
+  as aggregate super-features;
+* the scalar block's composition, so the model sees what the loop
+  looked like *before* vectorization.
+
+`ExtendedSpeedupModel` plugs into everything the base models do
+(fitting backends, LOOCV, policies); the ablation bench
+(`benchmarks/bench_ablations.py`) quantifies each feature group's
+contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fitting.base import Regressor
+from ..targets.classes import (
+    FEATURE_ORDER,
+    MEMORY_CLASSES,
+    OVERHEAD_CLASSES,
+)
+from .base import Sample
+from .featurize import rated
+from .speedup import SpeedupModel
+
+_MEM_MASK = np.array([c in MEMORY_CLASSES for c in FEATURE_ORDER])
+_OVH_MASK = np.array([c in OVERHEAD_CLASSES for c in FEATURE_ORDER])
+_COMPUTE_MASK = ~(_MEM_MASK | _OVH_MASK)
+
+#: Names of the appended feature columns, for weight inspection.
+EXTENDED_SUFFIX = (
+    "vf",
+    "intensity",
+    "mem_share",
+    "overhead_share",
+    "compute_share",
+)
+
+
+def intensity_of(counts: np.ndarray, elem_bytes: float = 4.0) -> float:
+    """Ops-per-byte proxy from a feature vector alone.
+
+    Memory classes are charged ``elem_bytes`` per count; compute
+    classes one op per count.  Streams are featurized per VF elements,
+    so the ratio is scale-free.
+    """
+    mem_bytes = float(counts[_MEM_MASK].sum()) * elem_bytes
+    ops = float(counts[_COMPUTE_MASK].sum())
+    if mem_bytes <= 0:
+        return ops  # compute-only block: already ops "per free byte"
+    return ops / mem_bytes
+
+
+def extended_features(sample: Sample) -> np.ndarray:
+    """Rated vector + rated scalar composition + engineered features."""
+    vec = np.asarray(sample.vector_features, dtype=np.float64)
+    scal = np.asarray(sample.scalar_features, dtype=np.float64)
+    vec_rated = rated(vec)
+    scal_rated = rated(scal)
+    total = max(vec.sum(), 1e-12)
+    engineered = np.array(
+        [
+            float(sample.vf),
+            intensity_of(vec),
+            float(vec[_MEM_MASK].sum()) / total,
+            float(vec[_OVH_MASK].sum()) / total,
+            float(vec[_COMPUTE_MASK].sum()) / total,
+        ]
+    )
+    return np.concatenate([vec_rated, scal_rated, engineered])
+
+
+class ExtendedSpeedupModel(SpeedupModel):
+    """Rated model plus scalar-side composition and engineered features."""
+
+    def __init__(self, regressor: Regressor, clip_to_vf: bool = True):
+        super().__init__(
+            regressor,
+            feature_fn=extended_features,
+            clip_to_vf=clip_to_vf,
+            label="extended",
+        )

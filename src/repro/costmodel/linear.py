@@ -1,0 +1,76 @@
+"""Linear block-cost model fitted from measurements (paper slides 5–6).
+
+Each vectorized basic block is a linear equation over its instruction
+type counts, ``cost = Σ nᵢ·wᵢ``.  The *target* cost of a block is
+implied by measurement: the static scalar block cost (the same
+count-based cost LLVM uses) divided by the measured speedup,
+
+    c_vector_target = VF · c_scalar / S_measured
+
+— slide 6's worked examples (c_scalar = 8, c_vector = 2.76 against a
+measured 2.89) follow exactly this construction.  Fitting the weight
+vector across the suite then yields a cost model whose speedup estimate
+is ``VF · c_scalar / (n·w)``.
+
+The known weakness (slide 7) is that these cost targets span a large
+interval across kernels, which strains the fit — the motivation for the
+speedup-target model in :mod:`repro.costmodel.speedup`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..fitting.base import Regressor
+from .base import EPS, Sample
+from .llvm_like import LLVMLikeCostModel
+
+
+class LinearCostModel:
+    """Fitted vector-block-cost model: targets are implied block costs."""
+
+    def __init__(self, regressor: Regressor):
+        self.regressor = regressor
+        self.name = f"cost-{regressor.name}"
+        self._static = LLVMLikeCostModel()
+        self._fitted = False
+
+    # -- target construction -------------------------------------------------
+
+    def implied_vector_cost(self, sample: Sample) -> float:
+        """The block cost the measurement implies for the vector block."""
+        return (
+            sample.vf
+            * self._static.scalar_cost(sample)
+            / max(sample.measured_speedup, EPS)
+        )
+
+    def training_data(
+        self, samples: Sequence[Sample]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        X = np.stack([s.vector_features for s in samples])
+        y = np.array([self.implied_vector_cost(s) for s in samples])
+        return X, y
+
+    # -- model interface ------------------------------------------------------
+
+    def fit(self, samples: Sequence[Sample]) -> "LinearCostModel":
+        X, y = self.training_data(samples)
+        self.regressor.fit(X, y)
+        self._fitted = True
+        return self
+
+    def vector_cost(self, sample: Sample) -> float:
+        if not self._fitted:
+            raise RuntimeError("predict before fit")
+        return float(self.regressor.predict(sample.vector_features[None, :])[0])
+
+    def predict_speedup(self, sample: Sample) -> float:
+        cost = max(self.vector_cost(sample), EPS)
+        return sample.vf * self._static.scalar_cost(sample) / cost
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self.regressor.coef_

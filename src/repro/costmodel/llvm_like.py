@@ -1,0 +1,91 @@
+"""The baseline under study: an LLVM-TTI-style static cost model.
+
+LLVM's vectorization cost model sums coarse per-opcode costs over the
+scalar and would-be-vector blocks and vectorizes when
+``vf * scalar_cost > vector_cost``.  The table below mirrors the shape
+of LLVM 6.0's ARM/X86 TTI defaults: almost everything costs 1, with
+crude penalties for division, sqrt, calls, gathers and horizontal
+reductions.  Its mispredictions — it knows nothing about latency
+chains, port pressure, or memory bandwidth — are exactly what the
+paper's slide 4 ("state of the art") exhibits and what the fitted
+models repair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..targets.classes import FEATURE_ORDER, IClass
+from .base import EPS, Sample
+
+#: Static per-class costs for scalar instructions.
+SCALAR_COSTS: dict[IClass, float] = {
+    IClass.LOAD: 1,
+    IClass.STORE: 1,
+    IClass.GATHER: 1,
+    IClass.SCATTER: 1,
+    IClass.MASKLOAD: 1,
+    IClass.MASKSTORE: 1,
+    IClass.BROADCAST: 1,
+    IClass.ADD: 1,
+    IClass.MUL: 1,
+    IClass.FMA: 1,
+    IClass.DIV: 4,
+    IClass.SQRT: 4,
+    IClass.EXP: 10,
+    IClass.ABS: 1,
+    IClass.MINMAX: 1,
+    IClass.CMP: 1,
+    IClass.BLEND: 1,
+    IClass.LOGIC: 1,
+    IClass.SHIFT: 1,
+    IClass.CVT: 1,
+    IClass.SHUFFLE: 1,
+    IClass.INSERT: 1,
+    IClass.EXTRACT: 1,
+    IClass.REDUCE: 1,
+}
+
+#: Static per-class costs for vector instructions.
+VECTOR_COSTS: dict[IClass, float] = {
+    **SCALAR_COSTS,
+    IClass.DIV: 8,
+    IClass.SQRT: 8,
+    IClass.GATHER: 4,
+    IClass.SCATTER: 4,
+    IClass.MASKLOAD: 2,
+    IClass.MASKSTORE: 2,
+    IClass.REDUCE: 2,
+}
+
+
+def _cost_vector(table: dict[IClass, float]) -> np.ndarray:
+    return np.array([table[c] for c in FEATURE_ORDER], dtype=np.float64)
+
+
+class LLVMLikeCostModel:
+    """Static block-cost ratio model (the paper's baseline)."""
+
+    name = "llvm-static"
+
+    def __init__(self):
+        self._scalar_w = _cost_vector(SCALAR_COSTS)
+        self._vector_w = _cost_vector(VECTOR_COSTS)
+
+    def scalar_cost(self, sample: Sample) -> float:
+        """Static cost of one scalar iteration."""
+        return float(sample.scalar_features @ self._scalar_w)
+
+    def vector_cost(self, sample: Sample) -> float:
+        """Static cost of one vector iteration (VF elements)."""
+        return float(sample.vector_features @ self._vector_w)
+
+    def predict_speedup(self, sample: Sample) -> float:
+        """Estimated speedup = VF · scalar_cost / vector_cost."""
+        return sample.vf * self.scalar_cost(sample) / max(
+            self.vector_cost(sample), EPS
+        )
+
+    def fit(self, samples) -> "LLVMLikeCostModel":
+        """No-op: the baseline is table-driven, not fitted."""
+        return self

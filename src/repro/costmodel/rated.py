@@ -1,0 +1,48 @@
+"""Rated-instruction-count model (paper slides 9–10).
+
+A count-based model cannot see arithmetic intensity: doubling every
+count doubles nothing about the *shape* of the block, yet it is the
+shape (what fraction of the block is memory traffic vs arithmetic)
+that decides whether vectorization pays off on a bandwidth-limited
+machine.  The rated model therefore replaces each count with the
+type's share of the block:
+
+    S_est = Σ (cᵢ / c_total) · ωᵢ
+
+making "this block is 40% loads" a feature the fit can weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fitting.base import Regressor
+from .base import Sample
+from .featurize import rated
+from .speedup import SpeedupModel
+
+
+def rated_features(sample: Sample) -> np.ndarray:
+    """Composition (fraction-of-block) features of the vector block."""
+    return rated(sample.vector_features)
+
+
+class RatedSpeedupModel(SpeedupModel):
+    """Speedup model over composition features."""
+
+    def __init__(self, regressor: Regressor, clip_to_vf: bool = True):
+        super().__init__(
+            regressor,
+            feature_fn=rated_features,
+            clip_to_vf=clip_to_vf,
+            label="rated",
+        )
+
+
+def rated_with_vf(sample: Sample) -> np.ndarray:
+    """Composition features extended with the VF.
+
+    With pure fractions the model loses the scale of the achievable
+    speedup; appending VF restores it.  Used by the ablation bench.
+    """
+    return np.concatenate([rated(sample.vector_features), [float(sample.vf)]])

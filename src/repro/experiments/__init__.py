@@ -1,0 +1,32 @@
+"""Experiment drivers reproducing every figure of the paper."""
+
+from .base import ExperimentResult
+from .dataset import (
+    ARM_LLV,
+    DEFAULT_JITTER,
+    Dataset,
+    DatasetSpec,
+    X86_SLP,
+    build_dataset,
+)
+from .categories import category_report, worst_categories
+from .registry import EXPERIMENTS, run_all, run_experiment
+from .reporting import ascii_table, fail_summary, text_scatter
+
+__all__ = [
+    "ExperimentResult",
+    "ARM_LLV",
+    "DEFAULT_JITTER",
+    "Dataset",
+    "DatasetSpec",
+    "X86_SLP",
+    "build_dataset",
+    "category_report",
+    "worst_categories",
+    "EXPERIMENTS",
+    "run_all",
+    "run_experiment",
+    "ascii_table",
+    "fail_summary",
+    "text_scatter",
+]

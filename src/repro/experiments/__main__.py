@@ -1,0 +1,50 @@
+"""CLI: ``python -m repro.experiments [E1 E2 … | all] [--no-scatter]``.
+
+Runs the requested paper-figure reproductions and prints their tables
+and text scatters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures (see DESIGN.md §4).",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (E1..E11) or 'all'",
+    )
+    parser.add_argument(
+        "--no-scatter", action="store_true", help="omit the text scatter plots"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for eid, (title, _) in EXPERIMENTS.items():
+            print(f"{eid:4s} {title}")
+        return 0
+
+    ids = list(EXPERIMENTS) if "all" in [i.lower() for i in args.ids] else args.ids
+    for eid in ids:
+        t0 = time.time()
+        result = run_experiment(eid)
+        print(result.to_text(include_scatter=not args.no_scatter))
+        print(f"[{eid} completed in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Experiment scaffolding: results, and the model zoo every driver uses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..costmodel.base import CostModel, Sample, predict_all
+from ..costmodel.linear import LinearCostModel
+from ..costmodel.llvm_like import LLVMLikeCostModel
+from ..costmodel.rated import RatedSpeedupModel
+from ..costmodel.speedup import SpeedupModel
+from ..fitting import LeastSquares, LinearSVR, NonNegativeLeastSquares
+from ..validation.metrics import EvalReport, evaluate
+from .reporting import ascii_table, text_scatter
+
+
+@dataclass
+class ExperimentResult:
+    """What one paper figure reproduces to.
+
+    ``rows`` is the table the figure's caption would carry (one row per
+    model/series); ``series`` holds the raw predicted/measured arrays
+    so benches and EXPERIMENTS.md can recompute anything; ``notes``
+    records interpretation and divergences.
+    """
+
+    id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    #: additional (title, rows) tables with their own column schema
+    tables: list[tuple[str, list[dict]]] = field(default_factory=list)
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+    scatters: dict[str, str] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_text(self, include_scatter: bool = True) -> str:
+        parts = [f"== {self.id}: {self.title} =="]
+        if self.rows:
+            parts.append(ascii_table(self.rows))
+        for table_title, table_rows in self.tables:
+            parts.append(ascii_table(table_rows, title=table_title))
+        if include_scatter:
+            for label, scatter in self.scatters.items():
+                parts.append(scatter if not label else f"[{label}]\n{scatter}")
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n\n".join(parts)
+
+    def row_for(self, model: str) -> dict:
+        for r in self.rows:
+            if r.get("model") == model:
+                return r
+        raise KeyError(f"no row for model {model!r} in {self.id}")
+
+
+# -- the model zoo -----------------------------------------------------------
+
+
+def make_baseline() -> LLVMLikeCostModel:
+    return LLVMLikeCostModel()
+
+
+def make_cost_model(method: str) -> LinearCostModel:
+    return LinearCostModel(_regressor(method))
+
+
+def make_speedup_model(method: str) -> SpeedupModel:
+    return SpeedupModel(_regressor(method))
+
+
+def make_rated_model(method: str) -> RatedSpeedupModel:
+    return RatedSpeedupModel(_regressor(method))
+
+
+def _regressor(method: str):
+    key = method.lower()
+    if key == "l2":
+        return LeastSquares()
+    if key == "nnls":
+        return NonNegativeLeastSquares()
+    if key == "svr":
+        return LinearSVR()
+    raise ValueError(f"unknown fitting method {method!r}")
+
+
+def fit_and_report(
+    model,
+    samples: Sequence[Sample],
+    measured: np.ndarray,
+    fit: bool = True,
+) -> tuple[EvalReport, np.ndarray]:
+    """Fit on the full set and evaluate in-sample (the slides' setup
+    for the non-LOOCV figures)."""
+    if fit:
+        model.fit(samples)
+    preds = predict_all(model, samples)
+    return evaluate(model.name, preds, measured), preds
+
+
+def scatter_for(
+    result: ExperimentResult,
+    label: str,
+    preds: np.ndarray,
+    measured: np.ndarray,
+    vf: Optional[int] = None,
+) -> None:
+    result.series[f"{label}.predicted"] = np.asarray(preds)
+    result.series.setdefault("measured", np.asarray(measured))
+    result.scatters[label] = text_scatter(
+        preds, measured, title=f"{label}: estimated vs measured speedup"
+    )

@@ -1,0 +1,63 @@
+"""Per-category breakdown of model quality over the TSVC suite.
+
+TSVC is organized by the compiler capability each loop probes; slicing
+prediction quality along those categories shows *where* a cost model
+earns its correlation (reductions, control flow, indirect addressing…)
+— the level at which the paper's conclusion talks about covering "all
+instruction types".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..costmodel.base import CostModel, Sample, predict_all
+from ..validation.metrics import confusion, pearson, rmse
+
+
+def category_report(
+    samples: Sequence[Sample],
+    model: CostModel,
+    min_size: int = 3,
+) -> list[dict]:
+    """One row per TSVC category with ≥ ``min_size`` vectorized loops.
+
+    Rows report the category's size, measured-speedup range, the
+    model's RMSE there, and its false decisions.  Pearson r is only
+    shown for categories big enough for it to mean anything.
+    """
+    preds = predict_all(model, samples)
+    measured = np.array([s.measured_speedup for s in samples])
+    by_cat: dict[str, list[int]] = {}
+    for j, s in enumerate(samples):
+        by_cat.setdefault(s.category, []).append(j)
+
+    rows: list[dict] = []
+    for cat in sorted(by_cat):
+        idx = by_cat[cat]
+        if len(idx) < min_size:
+            continue
+        p, m = preds[idx], measured[idx]
+        c = confusion(p, m)
+        row = {
+            "category": cat,
+            "n": len(idx),
+            "measured (med)": round(float(np.median(m)), 2),
+            "rmse": round(rmse(p, m), 2),
+            "false": c.false_predictions,
+        }
+        if len(idx) >= 5:
+            row["pearson"] = round(pearson(p, m), 2)
+        rows.append(row)
+    return rows
+
+
+def worst_categories(
+    samples: Sequence[Sample], model: CostModel, k: int = 3
+) -> list[str]:
+    """The ``k`` categories where the model's RMSE is highest."""
+    rows = category_report(samples, model, min_size=3)
+    rows.sort(key=lambda r: -r["rmse"])
+    return [r["category"] for r in rows[:k]]

@@ -1,0 +1,104 @@
+"""Dataset construction: the suite × target measurement sweep.
+
+Every experiment consumes the same kind of dataset the paper built:
+for each TSVC kernel, force-vectorize (LLV on ARM, unroll+SLP on x86),
+measure scalar and vector time, and extract the block features.
+Kernels that cannot be vectorized are recorded with their reason and
+excluded from modelling, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..costmodel.base import Sample, sample_from_measurement
+from ..sim.measure import measure_kernel
+from ..targets.registry import get_target
+from ..tsvc.suite import all_kernels
+from ..vectorize.plan import VectorizationFailure
+
+#: Default measurement jitter (σ of the multiplicative noise); roughly
+#: the run-to-run variation of a quiesced hardware measurement.
+DEFAULT_JITTER = 0.02
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    target: str = "armv8-neon"
+    vectorizer: str = "llv"
+    jitter: float = DEFAULT_JITTER
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.target}/{self.vectorizer}"
+
+
+#: The two configurations the paper evaluates.
+ARM_LLV = DatasetSpec("armv8-neon", "llv")
+X86_SLP = DatasetSpec("x86-avx2", "slp")
+
+
+@dataclass
+class Dataset:
+    spec: DatasetSpec
+    samples: list[Sample]
+    failures: list[tuple[str, str]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def measured(self) -> np.ndarray:
+        return np.array([s.measured_speedup for s in self.samples])
+
+    def names(self) -> list[str]:
+        return [s.name for s in self.samples]
+
+    def sample(self, name: str) -> Sample:
+        for s in self.samples:
+            if s.name == name:
+                return s
+        raise KeyError(f"kernel {name!r} not in dataset {self.spec.label}")
+
+    def summary(self) -> str:
+        sp = self.measured
+        return (
+            f"{self.spec.label}: {len(self.samples)} vectorized, "
+            f"{len(self.failures)} not vectorizable; measured speedup "
+            f"min {sp.min():.2f} / median {np.median(sp):.2f} / "
+            f"max {sp.max():.2f}"
+        )
+
+
+@lru_cache(maxsize=16)
+def _build_cached(spec: DatasetSpec) -> Dataset:
+    target = get_target(spec.target)
+    samples: list[Sample] = []
+    failures: list[tuple[str, str]] = []
+    for kern in all_kernels():
+        result = measure_kernel(
+            kern,
+            target,
+            vectorizer=spec.vectorizer,
+            jitter=spec.jitter,
+            seed=spec.seed,
+        )
+        if isinstance(result, VectorizationFailure):
+            failures.append((kern.name, result.reason))
+        else:
+            samples.append(sample_from_measurement(result))
+    return Dataset(spec, samples, failures)
+
+
+def build_dataset(spec: Optional[DatasetSpec] = None, **kwargs) -> Dataset:
+    """Build (or fetch the cached) dataset for a measurement spec."""
+    if spec is None:
+        spec = DatasetSpec(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a spec or keyword overrides, not both")
+    return _build_cached(spec)

@@ -1,0 +1,33 @@
+"""Experiment registry: id → driver, as indexed in DESIGN.md §4."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import ExperimentResult
+from . import drivers
+
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
+    "E1": ("State of the art, ARM (slide 4)", drivers.run_e1),
+    "E2": ("Linear modelling example (slide 6)", drivers.run_e2),
+    "E3": ("Fitted for speedup, ARM (slide 8)", drivers.run_e3),
+    "E4": ("Rated instruction count, ARM (slide 10)", drivers.run_e4),
+    "E5": ("LOOCV NNLS, ARM (slide 11)", drivers.run_e5),
+    "E6": ("Conclusion metrics (slide 12)", drivers.run_e6),
+    "E7": ("LLV vs SLP example (slide 15)", drivers.run_e7),
+    "E8": ("LOOCV L2, ARM (slide 16)", drivers.run_e8),
+    "E9": ("State of the art, x86 (slide 17)", drivers.run_e9),
+    "E10": ("Fitted for cost, x86 (slide 18)", drivers.run_e10),
+    "E11": ("Fitted for speedup, x86 (slide 19)", drivers.run_e11),
+}
+
+
+def run_experiment(eid: str) -> ExperimentResult:
+    key = eid.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {eid!r}; known: {', '.join(EXPERIMENTS)}")
+    return EXPERIMENTS[key][1]()
+
+
+def run_all() -> list[ExperimentResult]:
+    return [run_experiment(eid) for eid in EXPERIMENTS]

@@ -1,0 +1,44 @@
+"""Common regressor interface for the fitting backends."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+class FitError(Exception):
+    """Fitting failed (degenerate inputs, no convergence)."""
+
+
+@runtime_checkable
+class Regressor(Protocol):
+    """Linear regressor: fit weights w so that ``X @ w ≈ y``."""
+
+    name: str
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Regressor": ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+    @property
+    def coef_(self) -> np.ndarray: ...
+
+
+def check_Xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2:
+        raise FitError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1 or y.shape[0] != X.shape[0]:
+        raise FitError(f"y shape {y.shape} does not match X shape {X.shape}")
+    if X.shape[0] == 0:
+        raise FitError("empty training set")
+    if not np.all(np.isfinite(X)) or not np.all(np.isfinite(y)):
+        raise FitError("non-finite values in training data")
+    return X, y
+
+
+def residual_norm(reg: Regressor, X: np.ndarray, y: np.ndarray) -> float:
+    r = reg.predict(X) - y
+    return float(np.sqrt(np.mean(r * r)))

@@ -1,0 +1,44 @@
+"""L2 fitting: ordinary least squares (minimizes the Euclidean norm).
+
+The paper's "L2" fit — unconstrained, so instruction-type weights may
+come out negative when types are correlated in the training set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import check_Xy
+
+
+class LeastSquares:
+    """min_w ||X w − y||₂ via numpy's lstsq (rank-robust)."""
+
+    name = "L2"
+
+    def __init__(self, ridge: float = 0.0):
+        #: small Tikhonov term stabilizes near-collinear feature sets
+        self.ridge = ridge
+        self._coef: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LeastSquares":
+        X, y = check_Xy(X, y)
+        if self.ridge > 0:
+            n = X.shape[1]
+            Xa = np.vstack([X, np.sqrt(self.ridge) * np.eye(n)])
+            ya = np.concatenate([y, np.zeros(n)])
+        else:
+            Xa, ya = X, y
+        self._coef, *_ = np.linalg.lstsq(Xa, ya, rcond=None)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._coef is None:
+            raise RuntimeError("predict() before fit()")
+        return np.asarray(X, dtype=np.float64) @ self._coef
+
+    @property
+    def coef_(self) -> np.ndarray:
+        if self._coef is None:
+            raise RuntimeError("coef_ before fit()")
+        return self._coef

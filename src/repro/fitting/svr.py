@@ -1,0 +1,113 @@
+"""SVR fitting: linear ε-insensitive support vector regression.
+
+The paper's third fitting method.  We solve the primal problem
+
+    min_w  ½‖w‖² + C Σᵢ L_ε(w·xᵢ − yᵢ)
+
+with the ε-insensitive loss L_ε(r) = max(0, |r| − ε), smoothed with a
+small pseudo-Huber term so L-BFGS-B has continuous gradients (the
+smoothing δ is far below the data scale and does not change which
+points are support vectors in practice).  Bounds on w give the
+non-negative variant for free, matching how NNLS is used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.optimize
+
+from .base import FitError, check_Xy
+
+
+class LinearSVR:
+    """Linear ε-SVR solved in the primal with smoothed loss."""
+
+    name = "SVR"
+
+    def __init__(
+        self,
+        C: float = 10.0,
+        epsilon: float = 0.1,
+        nonneg: bool = False,
+        smoothing: float = 1e-3,
+        max_iter: int = 500,
+    ):
+        if C <= 0:
+            raise ValueError("C must be positive")
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.C = C
+        self.epsilon = epsilon
+        self.nonneg = nonneg
+        self.smoothing = smoothing
+        self.max_iter = max_iter
+        self._coef: np.ndarray | None = None
+
+    def _objective(self, w: np.ndarray, X: np.ndarray, y: np.ndarray):
+        r = X @ w - y
+        excess = np.abs(r) - self.epsilon
+        active = excess > 0
+        d = self.smoothing
+        # pseudo-Huber on the active excess: sqrt(e² + δ²) − δ
+        e = np.where(active, excess, 0.0)
+        loss = np.sqrt(e * e + d * d) - d
+        obj = 0.5 * float(w @ w) + self.C * float(loss.sum())
+        # gradient
+        dloss_de = e / np.sqrt(e * e + d * d)
+        dr = np.where(active, dloss_de * np.sign(r), 0.0)
+        grad = w + self.C * (X.T @ dr)
+        return obj, grad
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVR":
+        X, y = check_Xy(X, y)
+        n_features = X.shape[1]
+        # Scale-only column normalization (no centering): X' = X/s with
+        # w = w'/s afterwards — an equivalent model family (it keeps
+        # the no-intercept structure and the sign of each weight) that
+        # conditions the optimization when counts span decades.
+        col_scale = np.abs(X).max(axis=0)
+        col_scale = np.where(col_scale > 1e-12, col_scale, 1.0)
+        Xs = X / col_scale
+        # The loss scale should also be invariant to the target range.
+        y_scale = max(float(np.abs(y).max()), 1e-12)
+        ys = y / y_scale
+        eps = self.epsilon / y_scale if y_scale > 1.0 else self.epsilon
+
+        self_eps = self.epsilon
+        try:
+            self.epsilon = eps
+            # Warm-start from ridge-regularized least squares.
+            w0, *_ = np.linalg.lstsq(
+                np.vstack([Xs, 1e-3 * np.eye(n_features)]),
+                np.concatenate([ys, np.zeros(n_features)]),
+                rcond=None,
+            )
+            if self.nonneg:
+                w0 = np.clip(w0, 0.0, None)
+            bounds = [(0.0, None)] * n_features if self.nonneg else None
+            result = scipy.optimize.minimize(
+                self._objective,
+                w0,
+                args=(Xs, ys),
+                jac=True,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": self.max_iter, "ftol": 1e-14, "gtol": 1e-10},
+            )
+        finally:
+            self.epsilon = self_eps
+        if not np.all(np.isfinite(result.x)):
+            raise FitError("SVR optimization produced non-finite weights")
+        self._coef = result.x * y_scale / col_scale
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._coef is None:
+            raise RuntimeError("predict() before fit()")
+        return np.asarray(X, dtype=np.float64) @ self._coef
+
+    @property
+    def coef_(self) -> np.ndarray:
+        if self._coef is None:
+            raise RuntimeError("coef_ before fit()")
+        return self._coef

@@ -1,0 +1,13 @@
+"""C-like textual frontend for the loop IR."""
+
+from .lexer import LexError, Token, TokenStream, tokenize
+from .parser import ParseError, parse_kernel
+
+__all__ = [
+    "LexError",
+    "Token",
+    "TokenStream",
+    "tokenize",
+    "ParseError",
+    "parse_kernel",
+]

@@ -1,0 +1,615 @@
+"""Pythonic builder DSL for loop kernels.
+
+Kernels read close to their C originals::
+
+    k = KernelBuilder("s000", category="linear")
+    a, b = k.arrays("a", "b")
+    i = k.loop(32000)
+    a[i] = b[i] + 1.0
+    kern = k.build()
+
+Handles overload Python operators; plain numbers are coerced to
+constants.  Loop-index arithmetic (``i + 1``, ``2 * i``, ``n - i``)
+stays symbolic and affine so subscripts remain analyzable; anything
+non-affine raises immediately rather than producing an unanalyzable
+kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .expr import (
+    Affine,
+    BinOp,
+    BinOpKind,
+    CmpKind,
+    Compare,
+    Const,
+    Convert,
+    Expr,
+    Indirect,
+    IterValue,
+    Load,
+    ScalarRef,
+    Select,
+    UnOp,
+    UnOpKind,
+)
+from .kernel import ArrayDecl, Loop, LoopKernel, ScalarDecl
+from .stmt import ArrayStore, IfBlock, ScalarAssign, Stmt
+from .types import DType
+from .verify import verify_kernel
+
+#: Default TSVC 1-D array length and 2-D edge length.
+DEFAULT_LEN = 32000
+DEFAULT_LEN2 = 256
+
+Number = Union[int, float]
+
+
+class BuildError(Exception):
+    """Raised for malformed kernel construction."""
+
+
+# ---------------------------------------------------------------------------
+# Expression handles
+# ---------------------------------------------------------------------------
+
+
+class EH:
+    """Expression handle: wraps an :class:`Expr` with Python operators."""
+
+    __slots__ = ("expr",)
+    # Keep NumPy from hijacking ``ndarray <op> EH`` via ufunc dispatch.
+    __array_ufunc__ = None
+
+    def __init__(self, expr: Expr):
+        self.expr = expr
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _bin(self, op: BinOpKind, other, reflected: bool = False) -> "EH":
+        rhs = as_expr(other, like=self.expr.dtype)
+        lhs = self.expr
+        if reflected:
+            lhs, rhs = rhs, lhs
+        return EH(BinOp(op, lhs, rhs))
+
+    def __add__(self, o):
+        return self._bin(BinOpKind.ADD, o)
+
+    def __radd__(self, o):
+        return self._bin(BinOpKind.ADD, o, True)
+
+    def __sub__(self, o):
+        return self._bin(BinOpKind.SUB, o)
+
+    def __rsub__(self, o):
+        return self._bin(BinOpKind.SUB, o, True)
+
+    def __mul__(self, o):
+        return self._bin(BinOpKind.MUL, o)
+
+    def __rmul__(self, o):
+        return self._bin(BinOpKind.MUL, o, True)
+
+    def __truediv__(self, o):
+        return self._bin(BinOpKind.DIV, o)
+
+    def __rtruediv__(self, o):
+        return self._bin(BinOpKind.DIV, o, True)
+
+    def __and__(self, o):
+        return self._bin(BinOpKind.AND, o)
+
+    def __or__(self, o):
+        return self._bin(BinOpKind.OR, o)
+
+    def __xor__(self, o):
+        return self._bin(BinOpKind.XOR, o)
+
+    def __lshift__(self, o):
+        return self._bin(BinOpKind.SHL, o)
+
+    def __rshift__(self, o):
+        return self._bin(BinOpKind.SHR, o)
+
+    def __neg__(self):
+        return EH(UnOp(UnOpKind.NEG, self.expr))
+
+    # -- comparisons ----------------------------------------------------------
+
+    def _cmp(self, op: CmpKind, other) -> "EH":
+        return EH(Compare(op, self.expr, as_expr(other, like=self.expr.dtype)))
+
+    def __lt__(self, o):
+        return self._cmp(CmpKind.LT, o)
+
+    def __le__(self, o):
+        return self._cmp(CmpKind.LE, o)
+
+    def __gt__(self, o):
+        return self._cmp(CmpKind.GT, o)
+
+    def __ge__(self, o):
+        return self._cmp(CmpKind.GE, o)
+
+    def __eq__(self, o):  # type: ignore[override]
+        return self._cmp(CmpKind.EQ, o)
+
+    def __ne__(self, o):  # type: ignore[override]
+        return self._cmp(CmpKind.NE, o)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __bool__(self) -> bool:
+        raise BuildError(
+            "IR expressions have no Python truth value; use k.if_(cond) "
+            "for conditionals and select() for value selection"
+        )
+
+    def __repr__(self) -> str:
+        return f"EH({self.expr})"
+
+
+class IndexHandle:
+    """Symbolic affine combination of loop variables.
+
+    Supports ``i + 1``, ``2 * i``, ``i - 3``, ``-i``, ``i + j`` — anything
+    affine.  Used as an array subscript it becomes an :class:`Affine`;
+    used as a data value it becomes an :class:`IterValue` expression
+    (only for single-variable, unit-coefficient handles).
+    """
+
+    __slots__ = ("builder", "coeffs", "offset")
+    __array_ufunc__ = None
+
+    def __init__(self, builder: "KernelBuilder", coeffs: dict[int, int], offset: int = 0):
+        self.builder = builder
+        self.coeffs = dict(coeffs)
+        self.offset = offset
+
+    def _clone(self, coeffs: dict[int, int], offset: int) -> "IndexHandle":
+        return IndexHandle(self.builder, coeffs, offset)
+
+    def __add__(self, other):
+        if isinstance(other, IndexHandle):
+            coeffs = dict(self.coeffs)
+            for lvl, c in other.coeffs.items():
+                coeffs[lvl] = coeffs.get(lvl, 0) + c
+            return self._clone(coeffs, self.offset + other.offset)
+        if isinstance(other, int):
+            return self._clone(self.coeffs, self.offset + other)
+        return self.as_value() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        if isinstance(other, (IndexHandle, int)):
+            return self + (-other if isinstance(other, int) else other.__neg__())
+        return self.as_value() - other
+
+    def __rsub__(self, other):
+        if isinstance(other, int):
+            return self.__neg__() + other
+        return other - self.as_value()
+
+    def __neg__(self):
+        return self._clone({l: -c for l, c in self.coeffs.items()}, -self.offset)
+
+    def __mul__(self, other):
+        if isinstance(other, int):
+            return self._clone(
+                {l: c * other for l, c in self.coeffs.items()}, self.offset * other
+            )
+        return self.as_value() * other
+
+    __rmul__ = __mul__
+
+    # comparisons in data context (e.g. ``if_(i < m)``)
+    def __lt__(self, o):
+        return self.as_value() < o
+
+    def __le__(self, o):
+        return self.as_value() <= o
+
+    def __gt__(self, o):
+        return self.as_value() > o
+
+    def __ge__(self, o):
+        return self.as_value() >= o
+
+    def __eq__(self, o):  # type: ignore[override]
+        return self.as_value() == o
+
+    def __ne__(self, o):  # type: ignore[override]
+        return self.as_value() != o
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def to_affine(self, depth: int) -> Affine:
+        cs = [0] * depth
+        for lvl, c in self.coeffs.items():
+            if lvl >= depth:
+                raise BuildError(f"loop level {lvl} out of range (depth {depth})")
+            cs[lvl] = c
+        return Affine(tuple(cs), self.offset)
+
+    def as_value(self) -> EH:
+        """This index used as an integer data value."""
+        nonzero = {l: c for l, c in self.coeffs.items() if c != 0}
+        if len(nonzero) == 1:
+            (lvl, c), = nonzero.items()
+            e: Expr = IterValue(lvl)
+            if c != 1:
+                e = BinOp(BinOpKind.MUL, e, Const(c, DType.I32))
+            if self.offset:
+                e = BinOp(BinOpKind.ADD, e, Const(self.offset, DType.I32))
+            return EH(e)
+        if not nonzero:
+            return EH(Const(self.offset, DType.I32))
+        # i + j as a value: build the sum explicitly.
+        e = None
+        for lvl, c in sorted(nonzero.items()):
+            term: Expr = IterValue(lvl)
+            if c != 1:
+                term = BinOp(BinOpKind.MUL, term, Const(c, DType.I32))
+            e = term if e is None else BinOp(BinOpKind.ADD, e, term)
+        assert e is not None
+        if self.offset:
+            e = BinOp(BinOpKind.ADD, e, Const(self.offset, DType.I32))
+        return EH(e)
+
+    def __repr__(self) -> str:
+        return f"IndexHandle({self.coeffs}, +{self.offset})"
+
+
+class ArrayHandle:
+    __slots__ = ("builder", "decl")
+    __array_ufunc__ = None
+
+    def __init__(self, builder: "KernelBuilder", decl: ArrayDecl):
+        self.builder = builder
+        self.decl = decl
+
+    def _subscript(self, index) -> tuple:
+        idxs = index if isinstance(index, tuple) else (index,)
+        if len(idxs) != self.decl.ndim:
+            raise BuildError(
+                f"array {self.decl.name} has {self.decl.ndim} dim(s), "
+                f"subscripted with {len(idxs)}"
+            )
+        return tuple(self.builder._to_index(ix) for ix in idxs)
+
+    def __getitem__(self, index) -> EH:
+        sub = self._subscript(index)
+        return EH(Load(self.decl.name, sub, self.decl.dtype))
+
+    def __setitem__(self, index, value) -> None:
+        sub = self._subscript(index)
+        val = as_expr(value, like=self.decl.dtype)
+        self.builder._append(ArrayStore(self.decl.name, sub, val))
+
+    def __repr__(self) -> str:
+        return f"ArrayHandle({self.decl.name})"
+
+
+class ScalarHandle:
+    __slots__ = ("builder", "decl")
+    __array_ufunc__ = None
+
+    def __init__(self, builder: "KernelBuilder", decl: ScalarDecl):
+        self.builder = builder
+        self.decl = decl
+
+    @property
+    def ref(self) -> EH:
+        return EH(ScalarRef(self.decl.name, self.decl.dtype))
+
+    def set(self, value) -> None:
+        """Assign ``value`` to this scalar (may reference the scalar itself)."""
+        val = as_expr(value, like=self.decl.dtype)
+        self.builder._append(ScalarAssign(self.decl.name, val))
+
+    # Arithmetic delegates to the reference expression.
+    def __add__(self, o):
+        return self.ref + o
+
+    def __radd__(self, o):
+        return o + self.ref if isinstance(o, EH) else self.ref + o
+
+    def __sub__(self, o):
+        return self.ref - o
+
+    def __rsub__(self, o):
+        return self.ref.__rsub__(o)
+
+    def __mul__(self, o):
+        return self.ref * o
+
+    def __rmul__(self, o):
+        return self.ref * o
+
+    def __truediv__(self, o):
+        return self.ref / o
+
+    def __rtruediv__(self, o):
+        return self.ref.__rtruediv__(o)
+
+    def __neg__(self):
+        return -self.ref
+
+    def __lt__(self, o):
+        return self.ref < o
+
+    def __le__(self, o):
+        return self.ref <= o
+
+    def __gt__(self, o):
+        return self.ref > o
+
+    def __ge__(self, o):
+        return self.ref >= o
+
+    def __eq__(self, o):  # type: ignore[override]
+        return self.ref == o
+
+    def __ne__(self, o):  # type: ignore[override]
+        return self.ref != o
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"ScalarHandle({self.decl.name})"
+
+
+def as_expr(x, like: Optional[DType] = None) -> Expr:
+    """Coerce a handle or Python number to an :class:`Expr`."""
+    if isinstance(x, EH):
+        return x.expr
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, ScalarHandle):
+        return x.ref.expr
+    if isinstance(x, IndexHandle):
+        return x.as_value().expr
+    if isinstance(x, bool):
+        raise BuildError("bare Python bools are not IR values")
+    if isinstance(x, int):
+        if like is not None and like.is_float:
+            return Const(float(x), like)
+        return Const(x, DType.I32)
+    if isinstance(x, float):
+        dt = like if (like is not None and like.is_float) else DType.F32
+        return Const(x, dt)
+    raise BuildError(f"cannot convert {x!r} to an IR expression")
+
+
+# -- free-function expression helpers ---------------------------------------
+
+
+def _binfn(kind: BinOpKind, a, b) -> EH:
+    ea = as_expr(a)
+    eb = as_expr(b, like=ea.dtype)
+    return EH(BinOp(kind, ea, eb))
+
+
+def fmin(a, b) -> EH:
+    return _binfn(BinOpKind.MIN, a, b)
+
+
+def fmax(a, b) -> EH:
+    return _binfn(BinOpKind.MAX, a, b)
+
+
+def fabs(x) -> EH:
+    return EH(UnOp(UnOpKind.ABS, as_expr(x)))
+
+
+def fsqrt(x) -> EH:
+    return EH(UnOp(UnOpKind.SQRT, as_expr(x)))
+
+
+def fexp(x) -> EH:
+    return EH(UnOp(UnOpKind.EXP, as_expr(x)))
+
+
+def fnot(x) -> EH:
+    return EH(UnOp(UnOpKind.NOT, as_expr(x)))
+
+
+def select(cond, if_true, if_false) -> EH:
+    t = as_expr(if_true)
+    return EH(Select(as_expr(cond), t, as_expr(if_false, like=t.dtype)))
+
+
+def cast(x, dtype: DType) -> EH:
+    return EH(Convert(as_expr(x), dtype))
+
+
+# ---------------------------------------------------------------------------
+# The builder
+# ---------------------------------------------------------------------------
+
+
+class _IfCtx:
+    def __init__(self, builder: "KernelBuilder", cond: Expr):
+        self.builder = builder
+        self.cond = cond
+
+    def __enter__(self):
+        self.builder._push()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            return False
+        then_body = self.builder._pop()
+        self.builder._append(IfBlock(self.cond, then_body))
+        return False
+
+
+class _ElseCtx:
+    def __init__(self, builder: "KernelBuilder"):
+        self.builder = builder
+
+    def __enter__(self):
+        stmts = self.builder._current()
+        if not stmts or not isinstance(stmts[-1], IfBlock):
+            raise BuildError("else_() must directly follow an if_() block")
+        if stmts[-1].else_body:
+            raise BuildError("this if_() already has an else_() block")
+        self.builder._push()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            return False
+        else_body = self.builder._pop()
+        stmts = self.builder._current()
+        prev = stmts.pop()
+        assert isinstance(prev, IfBlock)
+        stmts.append(IfBlock(prev.cond, prev.then_body, else_body))
+        return False
+
+
+class KernelBuilder:
+    """Incrementally builds a :class:`LoopKernel`.
+
+    All ``loop()`` declarations must precede the first body statement,
+    because subscript coefficient vectors are sized by the loop depth.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        category: str = "uncategorized",
+        source: str = "",
+        default_len: int = DEFAULT_LEN,
+        default_len2: int = DEFAULT_LEN2,
+    ):
+        self.name = name
+        self.category = category
+        self.source = source
+        self.default_len = default_len
+        self.default_len2 = default_len2
+        self._loops: list[Loop] = []
+        self._arrays: dict[str, ArrayDecl] = {}
+        self._scalars: dict[str, ScalarDecl] = {}
+        self._stmt_stack: list[list[Stmt]] = [[]]
+        self._frozen_depth = False
+
+    # -- declarations ---------------------------------------------------------
+
+    def loop(self, trip: int = DEFAULT_LEN) -> IndexHandle:
+        if self._frozen_depth:
+            raise BuildError("all loop() calls must precede body statements")
+        if len(self._loops) >= 2:
+            raise BuildError("kernels support at most 2 loop levels")
+        self._loops.append(Loop(trip))
+        return IndexHandle(self, {len(self._loops) - 1: 1})
+
+    def array(
+        self,
+        name: str,
+        dtype: DType = DType.F32,
+        extents: Optional[Sequence[int]] = None,
+        dims: int = 1,
+    ) -> ArrayHandle:
+        if name in self._arrays or name in self._scalars:
+            raise BuildError(f"duplicate declaration: {name}")
+        if extents is None:
+            extents = (self.default_len,) if dims == 1 else (self.default_len2,) * dims
+        decl = ArrayDecl(name, dtype, tuple(int(e) for e in extents))
+        self._arrays[name] = decl
+        return ArrayHandle(self, decl)
+
+    def arrays(self, *names: str, dtype: DType = DType.F32) -> tuple[ArrayHandle, ...]:
+        return tuple(self.array(n, dtype) for n in names)
+
+    def array2(self, name: str, dtype: DType = DType.F32) -> ArrayHandle:
+        return self.array(name, dtype, dims=2)
+
+    def scalar(
+        self, name: str, dtype: DType = DType.F32, init: float = 0.0
+    ) -> ScalarHandle:
+        if name in self._scalars or name in self._arrays:
+            raise BuildError(f"duplicate declaration: {name}")
+        decl = ScalarDecl(name, dtype, init)
+        self._scalars[name] = decl
+        return ScalarHandle(self, decl)
+
+    def param(self, name: str, dtype: DType = DType.F32, value: float = 1.5) -> ScalarHandle:
+        """A loop-invariant scalar parameter with a default test value."""
+        return self.scalar(name, dtype, init=value)
+
+    # -- control flow -----------------------------------------------------------
+
+    def if_(self, cond) -> _IfCtx:
+        c = as_expr(cond)
+        if not c.dtype.is_bool:
+            raise BuildError("if_() condition must be a comparison")
+        return _IfCtx(self, c)
+
+    def else_(self) -> _ElseCtx:
+        return _ElseCtx(self)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _to_index(self, ix):
+        from .expr import Index
+
+        self._frozen_depth = True
+        depth = max(1, len(self._loops))
+        if isinstance(ix, IndexHandle):
+            return ix.to_affine(depth)
+        if isinstance(ix, int):
+            return Affine((0,) * depth, ix)
+        if isinstance(ix, EH):
+            e = ix.expr
+            if isinstance(e, Load) and e.dtype.is_int and e.subscript and all(
+                isinstance(s, Affine) for s in e.subscript
+            ):
+                if len(e.subscript) != 1:
+                    raise BuildError("indirect index arrays must be 1-D")
+                return Indirect(e.array, e.subscript[0])
+            raise BuildError(
+                f"subscript {e} is neither affine nor a 1-D integer-array load"
+            )
+        raise BuildError(f"invalid subscript {ix!r}")
+
+    def _append(self, stmt: Stmt) -> None:
+        self._frozen_depth = True
+        self._stmt_stack[-1].append(stmt)
+
+    def _push(self) -> None:
+        self._stmt_stack.append([])
+
+    def _pop(self) -> tuple[Stmt, ...]:
+        return tuple(self._stmt_stack.pop())
+
+    def _current(self) -> list[Stmt]:
+        return self._stmt_stack[-1]
+
+    # -- finalize ----------------------------------------------------------------
+
+    def build(self) -> LoopKernel:
+        if len(self._stmt_stack) != 1:
+            raise BuildError("unclosed if_()/else_() block")
+        if not self._loops:
+            raise BuildError("kernel needs at least one loop")
+        if not self._stmt_stack[0]:
+            raise BuildError("kernel body is empty")
+        kern = LoopKernel(
+            name=self.name,
+            loops=tuple(self._loops),
+            arrays=dict(self._arrays),
+            scalars=dict(self._scalars),
+            body=tuple(self._stmt_stack[0]),
+            category=self.category,
+            source=self.source,
+        )
+        verify_kernel(kern)
+        return kern

@@ -1,0 +1,290 @@
+"""Expression trees of the loop IR.
+
+Expressions are immutable trees.  Array subscripts are *structured*: an
+index is either affine in the loop variables (``c0*i0 + c1*i1 + off``)
+or an indirect lookup through an integer array (``ind[affine]``).  This
+is what lets the dependence analysis and the access-pattern classifier
+work symbolically instead of re-discovering structure from generic
+arithmetic, mirroring how scalar-evolution feeds LLVM's vectorizer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from .types import DType, common_type
+
+
+class BinOpKind(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MIN = "min"
+    MAX = "max"
+    AND = "&"
+    OR = "|"
+    XOR = "^"
+    SHL = "<<"
+    SHR = ">>"
+
+
+#: Binary ops that require integer (or bool for AND/OR/XOR) operands.
+INT_ONLY_BINOPS = frozenset(
+    {BinOpKind.AND, BinOpKind.OR, BinOpKind.XOR, BinOpKind.SHL, BinOpKind.SHR}
+)
+
+#: Ops usable as vectorizable reduction operators (associative).
+REDUCTION_BINOPS = frozenset(
+    {BinOpKind.ADD, BinOpKind.MUL, BinOpKind.MIN, BinOpKind.MAX}
+)
+
+
+class UnOpKind(enum.Enum):
+    NEG = "neg"
+    ABS = "abs"
+    SQRT = "sqrt"
+    EXP = "exp"
+    NOT = "not"
+
+
+class CmpKind(enum.Enum):
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+
+
+# ---------------------------------------------------------------------------
+# Subscript structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Affine:
+    """Affine index ``sum(coeffs[l] * loop_var[l]) + offset``.
+
+    ``coeffs`` has one entry per loop level of the owning kernel (level 0
+    is the outermost loop).  A constant subscript has all-zero coeffs.
+    """
+
+    coeffs: tuple[int, ...]
+    offset: int = 0
+
+    def coeff(self, level: int) -> int:
+        return self.coeffs[level] if level < len(self.coeffs) else 0
+
+    def shifted(self, delta: int) -> "Affine":
+        return Affine(self.coeffs, self.offset + delta)
+
+    def at_depth(self, depth: int) -> "Affine":
+        """Pad/truncate the coefficient tuple to ``depth`` levels."""
+        cs = self.coeffs[:depth] + (0,) * (depth - len(self.coeffs))
+        return Affine(cs, self.offset)
+
+    @property
+    def is_constant(self) -> bool:
+        return all(c == 0 for c in self.coeffs)
+
+    def __str__(self) -> str:
+        names = "ijk"
+        parts = [
+            (f"{c}*{names[l]}" if c != 1 else names[l])
+            for l, c in enumerate(self.coeffs)
+            if c != 0
+        ]
+        if self.offset or not parts:
+            parts.append(str(self.offset))
+        return "+".join(parts).replace("+-", "-")
+
+
+@dataclass(frozen=True)
+class Indirect:
+    """Indirect index: value of ``array[index]`` (an integer array)."""
+
+    array: str
+    index: Affine
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}]"
+
+
+Index = Union[Affine, Indirect]
+Subscript = tuple  # tuple[Index, ...] — one entry per array dimension
+
+
+def affine1(coeff: int = 1, offset: int = 0, *, level: int = 0, depth: int = 1) -> Affine:
+    """Convenience constructor: ``coeff * loop_var[level] + offset``."""
+    coeffs = [0] * depth
+    if level >= depth:
+        raise ValueError(f"level {level} out of range for depth {depth}")
+    coeffs[level] = coeff
+    return Affine(tuple(coeffs), offset)
+
+
+# ---------------------------------------------------------------------------
+# Expression nodes
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    dtype: DType
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of this subtree (including self)."""
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+    def loads(self) -> Iterator["Load"]:
+        for node in self.walk():
+            if isinstance(node, Load):
+                yield node
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: float
+    dtype: DType = DType.F32
+
+    def __str__(self) -> str:
+        return repr(self.value) if self.dtype.is_float else str(int(self.value))
+
+
+@dataclass(frozen=True)
+class ScalarRef(Expr):
+    """A named scalar: kernel parameter, temporary, or reduction accumulator."""
+
+    name: str
+    dtype: DType = DType.F32
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IterValue(Expr):
+    """The loop variable of ``level`` used as an arithmetic value."""
+
+    level: int = 0
+    dtype: DType = DType.I32
+
+    def __str__(self) -> str:
+        return "ijk"[self.level]
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    array: str
+    subscript: Subscript
+    dtype: DType = DType.F32
+
+    def children(self) -> tuple[Expr, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        idx = "][".join(str(ix) for ix in self.subscript)
+        return f"{self.array}[{idx}]"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: BinOpKind
+    lhs: Expr
+    rhs: Expr
+    dtype: DType = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.op in INT_ONLY_BINOPS and (
+            self.lhs.dtype.is_float or self.rhs.dtype.is_float
+        ):
+            raise TypeError(f"{self.op.value} requires integer operands")
+        object.__setattr__(
+            self, "dtype", common_type(self.lhs.dtype, self.rhs.dtype)
+        )
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        if self.op in (BinOpKind.MIN, BinOpKind.MAX):
+            return f"{self.op.value}({self.lhs}, {self.rhs})"
+        return f"({self.lhs} {self.op.value} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: UnOpKind
+    operand: Expr
+    dtype: DType = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.op is UnOpKind.NOT and not self.operand.dtype.is_bool:
+            raise TypeError("logical not requires a bool operand")
+        if self.op in (UnOpKind.SQRT, UnOpKind.EXP) and not self.operand.dtype.is_float:
+            raise TypeError(f"{self.op.value} requires a float operand")
+        object.__setattr__(self, "dtype", self.operand.dtype)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"{self.op.value}({self.operand})"
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    op: CmpKind
+    lhs: Expr
+    rhs: Expr
+    dtype: DType = field(default=DType.BOOL, init=False)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op.value} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """``cond ? if_true : if_false`` — the if-converted form of control flow."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+    dtype: DType = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.cond.dtype.is_bool:
+            raise TypeError("select condition must be bool")
+        object.__setattr__(
+            self, "dtype", common_type(self.if_true.dtype, self.if_false.dtype)
+        )
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.if_true, self.if_false)
+
+    def __str__(self) -> str:
+        return f"({self.cond} ? {self.if_true} : {self.if_false})"
+
+
+@dataclass(frozen=True)
+class Convert(Expr):
+    operand: Expr
+    dtype: DType
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"({self.dtype.value})({self.operand})"

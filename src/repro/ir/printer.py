@@ -1,0 +1,50 @@
+"""Render kernels back to a readable C-like source form.
+
+The output round-trips through the frontend parser for 1-D affine
+kernels and is used in reports, error messages, and golden tests.
+"""
+
+from __future__ import annotations
+
+from .kernel import LoopKernel
+from .stmt import ArrayStore, IfBlock, ScalarAssign, Stmt
+
+_VAR_NAMES = "ijk"
+
+
+def kernel_to_source(kernel: LoopKernel, indent: str = "  ") -> str:
+    lines: list[str] = [f"// kernel {kernel.name} [{kernel.category}]"]
+    for decl in kernel.arrays.values():
+        dims = "".join(f"[{e}]" for e in decl.extents)
+        lines.append(f"{decl.dtype.value} {decl.name}{dims};")
+    for decl in kernel.scalars.values():
+        lines.append(f"{decl.dtype.value} {decl.name} = {decl.init};")
+    pad = ""
+    for level, loop in enumerate(kernel.loops):
+        var = _VAR_NAMES[level]
+        lines.append(
+            f"{pad}for (int {var} = 0; {var} < {loop.trip}; {var}++) {{"
+        )
+        pad += indent
+    for stmt in kernel.body:
+        lines.extend(_stmt_lines(stmt, pad, indent))
+    for level in reversed(range(kernel.depth)):
+        pad = indent * level
+        lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def _stmt_lines(stmt: Stmt, pad: str, indent: str) -> list[str]:
+    if isinstance(stmt, (ArrayStore, ScalarAssign)):
+        return [pad + str(stmt)]
+    if isinstance(stmt, IfBlock):
+        lines = [f"{pad}if ({stmt.cond}) {{"]
+        for s in stmt.then_body:
+            lines.extend(_stmt_lines(s, pad + indent, indent))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for s in stmt.else_body:
+                lines.extend(_stmt_lines(s, pad + indent, indent))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"unknown statement {type(stmt).__name__}")

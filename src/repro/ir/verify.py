@@ -1,0 +1,112 @@
+"""Structural verifier for kernels.
+
+Catches malformed IR at construction time so every later pass can
+assume well-formedness: declared names, in-range subscript levels,
+integer index arrays, bool guards, and type-consistent stores.
+"""
+
+from __future__ import annotations
+
+from .expr import Affine, Expr, Indirect, Load
+from .stmt import ArrayStore, IfBlock, ScalarAssign, Stmt
+
+
+class VerificationError(Exception):
+    """The kernel violates an IR structural invariant."""
+
+
+def verify_kernel(kernel) -> None:
+    """Raise :class:`VerificationError` if ``kernel`` is malformed."""
+    depth = kernel.depth
+    for stmt in kernel.body:
+        _verify_stmt(kernel, stmt, depth)
+
+
+def _verify_stmt(kernel, stmt: Stmt, depth: int) -> None:
+    if isinstance(stmt, ArrayStore):
+        decl = kernel.arrays.get(stmt.array)
+        if decl is None:
+            raise VerificationError(f"store to undeclared array {stmt.array!r}")
+        if len(stmt.subscript) != decl.ndim:
+            raise VerificationError(
+                f"{stmt.array}: {decl.ndim}-D array subscripted "
+                f"with {len(stmt.subscript)} indices"
+            )
+        for ix in stmt.subscript:
+            _verify_index(kernel, ix, depth)
+        _verify_expr(kernel, stmt.value, depth)
+        if stmt.value.dtype.is_bool and not decl.dtype.is_bool:
+            raise VerificationError(
+                f"storing bool value into {decl.dtype.value} array {stmt.array}"
+            )
+    elif isinstance(stmt, ScalarAssign):
+        if stmt.name not in kernel.scalars:
+            raise VerificationError(f"assignment to undeclared scalar {stmt.name!r}")
+        _verify_expr(kernel, stmt.value, depth)
+    elif isinstance(stmt, IfBlock):
+        _verify_expr(kernel, stmt.cond, depth)
+        if not stmt.cond.dtype.is_bool:
+            raise VerificationError("if condition must be bool")
+        for s in stmt.then_body:
+            _verify_stmt(kernel, s, depth)
+        for s in stmt.else_body:
+            _verify_stmt(kernel, s, depth)
+    else:
+        raise VerificationError(f"unknown statement type {type(stmt).__name__}")
+
+
+def _verify_index(kernel, ix, depth: int) -> None:
+    if isinstance(ix, Affine):
+        if len(ix.coeffs) != depth:
+            raise VerificationError(
+                f"affine index has {len(ix.coeffs)} coeffs, kernel depth is {depth}"
+            )
+    elif isinstance(ix, Indirect):
+        decl = kernel.arrays.get(ix.array)
+        if decl is None:
+            raise VerificationError(f"indirect index through undeclared {ix.array!r}")
+        if not decl.dtype.is_int:
+            raise VerificationError(
+                f"indirect index array {ix.array} must be integer, "
+                f"is {decl.dtype.value}"
+            )
+        if decl.ndim != 1:
+            raise VerificationError("indirect index arrays must be 1-D")
+        _verify_index(kernel, ix.index, depth)
+    else:
+        raise VerificationError(f"unknown index type {type(ix).__name__}")
+
+
+def _verify_expr(kernel, expr: Expr, depth: int) -> None:
+    from .expr import IterValue, ScalarRef
+
+    for node in expr.walk():
+        if isinstance(node, Load):
+            decl = kernel.arrays.get(node.array)
+            if decl is None:
+                raise VerificationError(f"load from undeclared array {node.array!r}")
+            if len(node.subscript) != decl.ndim:
+                raise VerificationError(
+                    f"{node.array}: {decl.ndim}-D array subscripted "
+                    f"with {len(node.subscript)} indices"
+                )
+            if node.dtype is not decl.dtype:
+                raise VerificationError(
+                    f"load from {node.array} typed {node.dtype.value}, "
+                    f"array is {decl.dtype.value}"
+                )
+            for ix in node.subscript:
+                _verify_index(kernel, ix, depth)
+        elif isinstance(node, ScalarRef):
+            if node.name not in kernel.scalars:
+                raise VerificationError(f"reference to undeclared scalar {node.name!r}")
+            if node.dtype is not kernel.scalars[node.name].dtype:
+                raise VerificationError(
+                    f"scalar {node.name} referenced as {node.dtype.value}, "
+                    f"declared {kernel.scalars[node.name].dtype.value}"
+                )
+        elif isinstance(node, IterValue):
+            if node.level >= depth:
+                raise VerificationError(
+                    f"loop variable level {node.level} out of range (depth {depth})"
+                )

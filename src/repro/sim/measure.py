@@ -1,0 +1,169 @@
+"""Measurement harness: produce "measured" speedups for kernels.
+
+For a kernel and target this module runs the full pipeline —
+branch-probability estimation (functional scalar run on a truncated
+trip), scalar lowering + timing, vectorization, vector lowering +
+timing, remainder accounting — and reports the measured speedup with
+optional deterministic measurement jitter.
+
+It stands in for the paper's hardware runs: TSVC compiled twice (with
+and without the vectorizer) and timed on the ARMv8 / x86 machines.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..codegen.minstr import MStream
+from ..codegen.scalar_gen import lower_scalar
+from ..codegen.vector_gen import lower_vector
+from ..ir.kernel import LoopKernel
+from ..ir.stmt import IfBlock
+from ..targets.base import Target
+from ..targets.generic_ir import GENERIC_IR
+from ..vectorize.llv import vectorize_loop
+from ..vectorize.plan import VectorizationFailure, VectorizationPlan
+from .executor import make_buffers, run_scalar
+from .timing import CycleBreakdown, analyze_stream
+
+#: Inner iterations sampled when estimating branch probabilities.
+GUARD_SAMPLE_ITERS = 512
+
+
+@dataclass(frozen=True)
+class MeasuredSample:
+    """One kernel's measured scalar/vector timing on one target."""
+
+    kernel: LoopKernel
+    target: Target
+    plan: VectorizationPlan
+    scalar_stream: MStream
+    vector_stream: MStream
+    #: IR-level (pre-lowering) view of the vector block — what the
+    #: cost models featurize, mirroring where LLVM's cost model runs.
+    ir_vector_stream: MStream
+    scalar_cycles: float
+    vector_cycles: float
+    scalar_breakdown: CycleBreakdown
+    vector_breakdown: CycleBreakdown
+    guard_probs: dict[int, float]
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar_cycles / self.vector_cycles
+
+    @property
+    def vf(self) -> int:
+        return self.plan.vf
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kernel.name} on {self.target.name}: "
+            f"{self.scalar_cycles:.0f} -> {self.vector_cycles:.0f} cycles "
+            f"(speedup {self.speedup:.2f}, VF {self.vf}, "
+            f"vector {self.vector_breakdown.bound}-bound)"
+        )
+
+
+def estimate_guard_probs(kernel: LoopKernel, seed: int = 0) -> dict[int, float]:
+    """Branch-taken probabilities from a truncated functional run."""
+    if not any(isinstance(s, IfBlock) for s in kernel.stmts()):
+        return {}
+    bufs = make_buffers(kernel, seed=seed)
+    result = run_scalar(kernel, bufs, max_inner_iters=GUARD_SAMPLE_ITERS)
+    return result.guard_probs
+
+
+def apply_jitter(value: float, rng: np.random.Generator, sigma: float) -> float:
+    """Multiplicative measurement noise, clipped to ±3σ."""
+    if sigma <= 0:
+        return value
+    eps = float(np.clip(rng.normal(0.0, sigma), -3 * sigma, 3 * sigma))
+    return value * (1.0 + eps)
+
+
+def measure_kernel(
+    kernel: LoopKernel,
+    target: Target,
+    vf: Optional[int] = None,
+    *,
+    vectorizer: str = "llv",
+    jitter: float = 0.0,
+    seed: int = 0,
+    guard_probs: Optional[dict[int, float]] = None,
+) -> Union[MeasuredSample, VectorizationFailure]:
+    """Measure the vectorization speedup of ``kernel`` on ``target``.
+
+    Returns a :class:`VectorizationFailure` when the kernel cannot be
+    vectorized (the paper's study excludes those loops too).
+    """
+    if vectorizer == "llv":
+        result = vectorize_loop(kernel, target, vf)
+    elif vectorizer == "slp":
+        from ..vectorize.slp import slp_vectorize
+
+        result = slp_vectorize(kernel, target, vf)
+    else:
+        raise ValueError(f"unknown vectorizer {vectorizer!r}")
+    if isinstance(result, VectorizationFailure):
+        return result
+    return measure_plan(
+        result, target, jitter=jitter, seed=seed, guard_probs=guard_probs
+    )
+
+
+def measure_plan(
+    plan: VectorizationPlan,
+    target: Target,
+    *,
+    jitter: float = 0.0,
+    seed: int = 0,
+    guard_probs: Optional[dict[int, float]] = None,
+) -> MeasuredSample:
+    """Measure an existing plan (scalar baseline vs vector execution)."""
+    kernel = plan.kernel
+    if guard_probs is None:
+        guard_probs = estimate_guard_probs(kernel, seed=seed)
+
+    scalar_stream = lower_scalar(kernel, target, guard_probs=guard_probs)
+    if plan.kind == "slp":
+        from ..codegen.slp_gen import lower_slp
+
+        vector_stream = lower_slp(plan, target)
+        ir_vector_stream = lower_slp(plan, GENERIC_IR)
+    else:
+        vector_stream = lower_vector(plan, target)
+        ir_vector_stream = lower_vector(plan, GENERIC_IR)
+
+    sb = analyze_stream(scalar_stream, target)
+    vb = analyze_stream(vector_stream, target)
+    scalar_cycles = sb.total
+    # The vector loop pays its own cycles plus a scalar tail for the
+    # remainder iterations.
+    vector_cycles = vb.total + vector_stream.remainder * sb.per_iter
+
+    # zlib.crc32 is stable across processes (unlike hash(), which is
+    # salted per interpreter) — measurements must be reproducible.
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, zlib.crc32(kernel.name.encode())])
+    )
+    scalar_cycles = apply_jitter(scalar_cycles, rng, jitter)
+    vector_cycles = apply_jitter(vector_cycles, rng, jitter)
+
+    return MeasuredSample(
+        kernel=kernel,
+        target=target,
+        plan=plan,
+        scalar_stream=scalar_stream,
+        vector_stream=vector_stream,
+        ir_vector_stream=ir_vector_stream,
+        scalar_cycles=scalar_cycles,
+        vector_cycles=vector_cycles,
+        scalar_breakdown=sb,
+        vector_breakdown=vb,
+        guard_probs=guard_probs,
+    )

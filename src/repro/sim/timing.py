@@ -1,0 +1,138 @@
+"""Analytical timing model (the "measurement" substrate).
+
+Steady-state cycles-per-iteration of a stream is the max of three
+bounds, the same structure LLVM-MCA-style throughput analysis uses:
+
+* **resource bound** — per-port occupancy divided by port count, and
+  total instructions over the issue width;
+* **recurrence bound** — for every loop-carried dependence cycle, the
+  latency of its intra-iteration path divided by its distance (serial
+  chains such as scalar reductions and `a[i] = f(a[i-1])` recurrences
+  are priced here);
+* **memory bound** — bytes moved per iteration over the sustainable
+  bandwidth of the cache level the working set lands in (this is what
+  caps the vector speedup of low-arithmetic-intensity kernels, the
+  effect the paper's *rated* feature set exists to capture).
+
+Prologue and epilogue instructions are charged serially once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codegen.minstr import MInstr, MStream
+from ..targets.base import Target
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Per-iteration cycle estimate and which bound is binding."""
+
+    resource: float
+    recurrence: float
+    memory: float
+    overhead: float  # one-off prologue+epilogue cycles
+    iters: int
+
+    @property
+    def per_iter(self) -> float:
+        return max(self.resource, self.recurrence, self.memory)
+
+    @property
+    def bound(self) -> str:
+        best = self.per_iter
+        if best == self.memory and self.memory >= self.resource:
+            return "memory"
+        if best == self.recurrence and self.recurrence > self.resource:
+            return "recurrence"
+        return "compute"
+
+    @property
+    def total(self) -> float:
+        return self.overhead + self.iters * self.per_iter
+
+
+def resource_bound(body: list[MInstr], target: Target) -> float:
+    """Throughput limit from execution-port and issue-width pressure."""
+    port_busy: dict[str, float] = {}
+    issue_slots = 0.0
+    for ins in body:
+        t = target.timing(ins.iclass, ins.dtype, ins.lanes)
+        port_busy[t.port] = port_busy.get(t.port, 0.0) + t.occupancy * ins.weight
+        issue_slots += ins.weight
+    bounds = [issue_slots / target.issue_width]
+    bounds.extend(
+        busy / target.port_count(port) for port, busy in port_busy.items()
+    )
+    return max(bounds) if bounds else 0.0
+
+
+def recurrence_bound(body: list[MInstr], target: Target) -> float:
+    """Max over carried-dependence cycles of path latency / distance."""
+    lat = {
+        ins.id: target.timing(ins.iclass, ins.dtype, ins.lanes).latency
+        for ins in body
+    }
+    ids = {ins.id for ins in body}
+    best = 0.0
+    for ins in body:
+        for producer, distance in ins.carried:
+            if producer not in ids or distance <= 0:
+                continue
+            # The cycle closes when the consumer's value flows back to
+            # the producer within an iteration: consumer → … → producer.
+            path = _longest_path(body, ins.id, producer, lat)
+            if path is not None:
+                best = max(best, path / distance)
+    return best
+
+
+def _longest_path(
+    body: list[MInstr], src: int, dst: int, lat: dict[int, float]
+):
+    """Longest latency path src → dst through intra-iteration edges.
+
+    Node latencies count once each, including both endpoints.  Returns
+    None when dst is unreachable from src (carried edge with no
+    intra-iteration return path — no cycle, no bound).  Instruction ids
+    are in topological order by construction.
+    """
+    dp: dict[int, float] = {src: lat[src]}
+    if src == dst:
+        return lat[src]
+    for ins in body:
+        if ins.id <= src:
+            continue
+        reach = [dp[s] for s in ins.srcs if s in dp]
+        if reach:
+            dp[ins.id] = max(reach) + lat[ins.id]
+        if ins.id == dst:
+            return dp.get(dst)
+    return dp.get(dst)
+
+
+def memory_bound(stream: MStream, target: Target) -> float:
+    """Bandwidth limit from the cache level the working set lives in."""
+    bpc = target.cache.bandwidth_for(stream.working_set_bytes)
+    return stream.bytes_per_iter() / bpc
+
+
+def overhead_cycles(stream: MStream, target: Target) -> float:
+    """Serial one-off cost of prologue + epilogue instructions."""
+    total = 0.0
+    for ins in (*stream.prologue, *stream.epilogue):
+        t = target.timing(ins.iclass, ins.dtype, ins.lanes)
+        total += t.latency * ins.weight
+    return total
+
+
+def analyze_stream(stream: MStream, target: Target) -> CycleBreakdown:
+    """Full cycle breakdown of a lowered stream on ``target``."""
+    return CycleBreakdown(
+        resource=resource_bound(stream.body, target),
+        recurrence=recurrence_bound(stream.body, target),
+        memory=memory_bound(stream, target),
+        overhead=overhead_cycles(stream, target),
+        iters=stream.iters,
+    )

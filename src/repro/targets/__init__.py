@@ -1,0 +1,43 @@
+"""Target machine descriptions and the instruction-class taxonomy."""
+
+from .classes import (
+    FEATURE_ORDER,
+    IClass,
+    MEMORY_CLASSES,
+    OVERHEAD_CLASSES,
+    feature_index,
+)
+from .base import (
+    CacheHierarchy,
+    CacheLevel,
+    InstrTiming,
+    Target,
+    TargetError,
+)
+from .armv8_neon import ARMV8_NEON
+from .armv9_sve import ARMV9_SVE
+from .x86_avx2 import X86_AVX2
+from .registry import available_targets, get_target, register_target
+
+__all__ = [
+    "FEATURE_ORDER",
+    "IClass",
+    "MEMORY_CLASSES",
+    "OVERHEAD_CLASSES",
+    "feature_index",
+    "CacheHierarchy",
+    "CacheLevel",
+    "InstrTiming",
+    "Target",
+    "TargetError",
+    "ARMV8_NEON",
+    "ARMV9_SVE",
+    "X86_AVX2",
+    "available_targets",
+    "get_target",
+    "register_target",
+]
+
+from .generic_ir import GENERIC_IR  # noqa: E402
+
+__all__.append("GENERIC_IR")

@@ -1,0 +1,104 @@
+"""ARMv8 NEON machine description (Cortex-A57-class).
+
+128-bit ASIMD, two FP/ASIMD pipes, one load and one store pipe,
+3-wide issue.  The distinguishing modelling choices, all drawn from the
+A57 software optimization guide's structure:
+
+* no hardware gather/scatter or masked memory ops — indirect and
+  wide-strided vector accesses must be scalarized through lane
+  inserts/extracts, and masked stores become load+blend+store;
+* GPR→SIMD transfers (lane INSERT) are expensive, which is what makes
+  scalarized gathers so costly on this core;
+* small constant strides are lowered as interleaved loads plus
+  shuffles (the ld2/ld3/ld4 idiom LLVM uses on NEON).
+"""
+
+from __future__ import annotations
+
+from .base import CacheHierarchy, CacheLevel, InstrTiming, Target
+from .classes import IClass
+
+_T = InstrTiming
+
+
+def _timings() -> dict:
+    return {
+        # memory
+        (IClass.LOAD, "s"): _T(4, 1, "ld"),
+        (IClass.LOAD, "v"): _T(5, 1, "ld"),
+        (IClass.STORE, "s"): _T(1, 1, "st"),
+        (IClass.STORE, "v"): _T(2, 1, "st"),
+        (IClass.BROADCAST, "v"): _T(5, 1, "ld"),
+        # arithmetic (FP pipes)
+        (IClass.ADD, "s"): _T(4, 1, "fp"),
+        (IClass.ADD, "v"): _T(4, 1, "fp"),
+        (IClass.MUL, "s"): _T(4, 1, "fp"),
+        (IClass.MUL, "v"): _T(4, 1, "fp"),
+        (IClass.FMA, "s"): _T(8, 1, "fp"),
+        (IClass.FMA, "v"): _T(8, 1, "fp"),
+        (IClass.DIV, "s"): _T(13, 7, "fp"),
+        (IClass.DIV, "v"): _T(27, 14, "fp"),
+        (IClass.SQRT, "s"): _T(12, 6, "fp"),
+        (IClass.SQRT, "v"): _T(24, 12, "fp"),
+        (IClass.EXP, "s"): _T(40, 20, "fp"),
+        (IClass.ABS, "s"): _T(3, 1, "fp"),
+        (IClass.ABS, "v"): _T(3, 1, "fp"),
+        (IClass.MINMAX, "s"): _T(3, 1, "fp"),
+        (IClass.MINMAX, "v"): _T(3, 1, "fp"),
+        # compare / select / bitwise
+        (IClass.CMP, "s"): _T(3, 1, "fp"),
+        (IClass.CMP, "v"): _T(3, 1, "fp"),
+        (IClass.BLEND, "s"): _T(3, 1, "fp"),
+        (IClass.BLEND, "v"): _T(3, 1, "fp"),
+        (IClass.LOGIC, "s"): _T(1, 1, "int"),
+        (IClass.LOGIC, "v"): _T(3, 1, "fp"),
+        (IClass.SHIFT, "s"): _T(1, 1, "int"),
+        (IClass.SHIFT, "v"): _T(3, 1, "fp"),
+        (IClass.CVT, "s"): _T(4, 1, "fp"),
+        (IClass.CVT, "v"): _T(4, 1, "fp"),
+        # lane movement
+        (IClass.SHUFFLE, "v"): _T(3, 1, "fp"),
+        (IClass.INSERT, "v"): _T(8, 2, "fp"),
+        (IClass.EXTRACT, "v"): _T(6, 1.5, "fp"),
+        (IClass.REDUCE, "v"): _T(8, 2, "fp"),
+    }
+
+
+def _int_timings() -> dict:
+    return {
+        (IClass.ADD, "s"): _T(1, 1, "int"),
+        (IClass.ADD, "v"): _T(3, 1, "fp"),
+        (IClass.MUL, "s"): _T(3, 1, "int"),
+        (IClass.MUL, "v"): _T(4, 1, "fp"),
+        (IClass.CMP, "s"): _T(1, 1, "int"),
+        (IClass.CMP, "v"): _T(3, 1, "fp"),
+        (IClass.MINMAX, "s"): _T(1, 1, "int"),
+        (IClass.MINMAX, "v"): _T(3, 1, "fp"),
+        (IClass.ABS, "s"): _T(1, 1, "int"),
+        (IClass.ABS, "v"): _T(3, 1, "fp"),
+        (IClass.BLEND, "s"): _T(1, 1, "int"),
+        (IClass.BLEND, "v"): _T(3, 1, "fp"),
+        (IClass.LOGIC, "v"): _T(3, 1, "fp"),
+        (IClass.SHIFT, "v"): _T(3, 1, "fp"),
+    }
+
+
+ARMV8_NEON = Target(
+    name="armv8-neon",
+    vector_bits=128,
+    issue_width=3,
+    ports={"fp": 2, "ld": 1, "st": 1, "int": 2},
+    timings=_timings(),
+    int_timings=_int_timings(),
+    cache=CacheHierarchy(
+        levels=(
+            CacheLevel("L1", 32 * 1024, 32.0),
+            CacheLevel("L2", 1 * 1024 * 1024, 16.0),
+        ),
+        dram_bytes_per_cycle=6.0,
+    ),
+    has_gather=False,
+    has_scatter=False,
+    has_masked_mem=False,
+    max_interleave_stride=4,
+)

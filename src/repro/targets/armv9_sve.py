@@ -1,0 +1,103 @@
+"""Hypothetical ARMv9 SVE machine description (256-bit vectors).
+
+An *extension* target, not part of the paper's evaluation: the paper
+was presented at the ARM Research Summit while SVE was arriving, and
+the natural follow-on question is how the cost-model landscape shifts
+on a core with everything NEON lacks — hardware gather *and* scatter,
+native predication (masked loads/stores), wider vectors.
+
+Modelled as an A57-style pipeline scaled up: two wider vector pipes,
+gathers priced like one element per cycle plus setup (in line with
+early SVE implementations), predicated memory ops nearly free.  Used
+by `examples/sve_outlook.py` and the SVE bench to re-run the study on
+a third target.
+"""
+
+from __future__ import annotations
+
+from .base import CacheHierarchy, CacheLevel, InstrTiming, Target
+from .classes import IClass
+
+_T = InstrTiming
+
+
+def _timings() -> dict:
+    return {
+        # memory
+        (IClass.LOAD, "s"): _T(4, 1, "ld"),
+        (IClass.LOAD, "v"): _T(6, 1, "ld"),
+        (IClass.STORE, "s"): _T(1, 1, "st"),
+        (IClass.STORE, "v"): _T(2, 1, "st"),
+        (IClass.GATHER, "v"): _T(14, 8, "ld"),
+        (IClass.SCATTER, "v"): _T(12, 8, "st"),
+        (IClass.MASKLOAD, "v"): _T(6, 1, "ld"),
+        (IClass.MASKSTORE, "v"): _T(3, 1, "st"),
+        (IClass.BROADCAST, "v"): _T(4, 1, "ld"),
+        # arithmetic
+        (IClass.ADD, "s"): _T(3, 1, "fp"),
+        (IClass.ADD, "v"): _T(3, 1, "fp"),
+        (IClass.MUL, "s"): _T(4, 1, "fp"),
+        (IClass.MUL, "v"): _T(4, 1, "fp"),
+        (IClass.FMA, "s"): _T(6, 1, "fp"),
+        (IClass.FMA, "v"): _T(6, 1, "fp"),
+        (IClass.DIV, "s"): _T(12, 6, "fp"),
+        (IClass.DIV, "v"): _T(24, 12, "fp"),
+        (IClass.SQRT, "s"): _T(11, 5, "fp"),
+        (IClass.SQRT, "v"): _T(22, 11, "fp"),
+        (IClass.EXP, "s"): _T(36, 18, "fp"),
+        (IClass.ABS, "s"): _T(2, 1, "fp"),
+        (IClass.ABS, "v"): _T(2, 1, "fp"),
+        (IClass.MINMAX, "s"): _T(2, 1, "fp"),
+        (IClass.MINMAX, "v"): _T(2, 1, "fp"),
+        # compare / select / bitwise — predicates are first-class on SVE
+        (IClass.CMP, "s"): _T(2, 1, "fp"),
+        (IClass.CMP, "v"): _T(2, 1, "fp"),
+        (IClass.BLEND, "s"): _T(2, 1, "fp"),
+        (IClass.BLEND, "v"): _T(2, 1, "fp"),
+        (IClass.LOGIC, "s"): _T(1, 1, "int"),
+        (IClass.LOGIC, "v"): _T(2, 1, "fp"),
+        (IClass.SHIFT, "s"): _T(1, 1, "int"),
+        (IClass.SHIFT, "v"): _T(2, 1, "fp"),
+        (IClass.CVT, "s"): _T(3, 1, "fp"),
+        (IClass.CVT, "v"): _T(3, 1, "fp"),
+        # lane movement
+        (IClass.SHUFFLE, "v"): _T(3, 1, "fp"),
+        (IClass.INSERT, "v"): _T(6, 1.5, "fp"),
+        (IClass.EXTRACT, "v"): _T(5, 1, "fp"),
+        (IClass.REDUCE, "v"): _T(9, 2, "fp"),
+    }
+
+
+def _int_timings() -> dict:
+    return {
+        (IClass.ADD, "s"): _T(1, 1, "int"),
+        (IClass.ADD, "v"): _T(2, 1, "fp"),
+        (IClass.MUL, "s"): _T(3, 1, "int"),
+        (IClass.MUL, "v"): _T(4, 1, "fp"),
+        (IClass.CMP, "s"): _T(1, 1, "int"),
+        (IClass.CMP, "v"): _T(2, 1, "fp"),
+        (IClass.MINMAX, "s"): _T(1, 1, "int"),
+        (IClass.ABS, "s"): _T(1, 1, "int"),
+        (IClass.BLEND, "s"): _T(1, 1, "int"),
+    }
+
+
+ARMV9_SVE = Target(
+    name="armv9-sve",
+    vector_bits=256,
+    issue_width=4,
+    ports={"fp": 2, "ld": 2, "st": 1, "int": 2},
+    timings=_timings(),
+    int_timings=_int_timings(),
+    cache=CacheHierarchy(
+        levels=(
+            CacheLevel("L1", 64 * 1024, 48.0),
+            CacheLevel("L2", 1 * 1024 * 1024, 24.0),
+        ),
+        dram_bytes_per_cycle=8.0,
+    ),
+    has_gather=True,
+    has_scatter=True,
+    has_masked_mem=True,
+    max_interleave_stride=4,
+)

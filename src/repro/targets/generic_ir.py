@@ -1,0 +1,33 @@
+"""Generic IR-level pseudo-target for feature extraction.
+
+The paper's cost models run where LLVM's does: on the *IR* of the
+vectorized block, before target lowering.  At that level an indirect
+vector load is one ``masked.gather`` call, a guarded store is one
+``masked.store``, and a transcendental is one vector intrinsic —
+regardless of whether the backend later scalarizes them lane by lane.
+
+Lowering a plan against this pseudo-target therefore yields the
+instruction-type counts the models should see, while the real machine
+targets keep producing the streams the timing simulator prices.  The
+pseudo-target has no timing tables on purpose: trying to *time* an
+IR-level stream is a bug.
+"""
+
+from __future__ import annotations
+
+from .base import CacheHierarchy, CacheLevel, Target
+
+GENERIC_IR = Target(
+    name="generic-ir",
+    vector_bits=128,  # unused: plans carry their VF explicitly
+    issue_width=1,
+    ports={},
+    timings={},
+    int_timings={},
+    cache=CacheHierarchy((CacheLevel("L1", 1, 1.0),), 1.0),
+    has_gather=True,
+    has_scatter=True,
+    has_masked_mem=True,
+    scalarize_calls=False,
+    max_interleave_stride=4,
+)

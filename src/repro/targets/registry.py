@@ -1,0 +1,46 @@
+"""Name-based lookup of target machine descriptions."""
+
+from __future__ import annotations
+
+from .armv8_neon import ARMV8_NEON
+from .armv9_sve import ARMV9_SVE
+from .base import Target
+from .x86_avx2 import X86_AVX2
+
+_TARGETS: dict[str, Target] = {
+    "armv8-neon": ARMV8_NEON,
+    "armv9-sve": ARMV9_SVE,
+    "x86-avx2": X86_AVX2,
+}
+
+_ALIASES = {
+    "arm": "armv8-neon",
+    "armv8": "armv8-neon",
+    "neon": "armv8-neon",
+    "sve": "armv9-sve",
+    "armv9": "armv9-sve",
+    "x86": "x86-avx2",
+    "avx2": "x86-avx2",
+}
+
+
+def get_target(name: str) -> Target:
+    """Look up a target by name or alias (case-insensitive)."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _TARGETS[key]
+    except KeyError:
+        known = sorted(set(_TARGETS) | set(_ALIASES))
+        raise KeyError(f"unknown target {name!r}; known: {', '.join(known)}") from None
+
+
+def available_targets() -> tuple[str, ...]:
+    return tuple(sorted(_TARGETS))
+
+
+def register_target(target: Target, *aliases: str) -> None:
+    """Register a custom target (used by tests and tuning examples)."""
+    _TARGETS[target.name] = target
+    for alias in aliases:
+        _ALIASES[alias.lower()] = target.name

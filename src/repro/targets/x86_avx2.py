@@ -1,0 +1,105 @@
+"""x86 AVX2 machine description (Haswell-Xeon-E5-class).
+
+256-bit vectors, two FP pipes plus a single dedicated shuffle port,
+two load ports, 4-wide issue.  Distinguishing modelling choices:
+
+* hardware gather exists but is slow (Haswell's vgatherdps), so
+  gather-heavy kernels vectorize "successfully" with mediocre payoff —
+  a classic source of static-cost-model mispredictions;
+* masked loads/stores exist (vmaskmov), making if-converted stores far
+  cheaper than on NEON;
+* all cross-lane traffic funnels through the one shuffle port, so
+  interleave/packing-heavy blocks bottleneck there.
+"""
+
+from __future__ import annotations
+
+from .base import CacheHierarchy, CacheLevel, InstrTiming, Target
+from .classes import IClass
+
+_T = InstrTiming
+
+
+def _timings() -> dict:
+    return {
+        # memory
+        (IClass.LOAD, "s"): _T(4, 1, "ld"),
+        (IClass.LOAD, "v"): _T(5, 1, "ld"),
+        (IClass.STORE, "s"): _T(1, 1, "st"),
+        (IClass.STORE, "v"): _T(2, 1, "st"),
+        (IClass.GATHER, "v"): _T(18, 6, "ld"),
+        (IClass.MASKLOAD, "v"): _T(6, 1, "ld"),
+        (IClass.MASKSTORE, "v"): _T(5, 1, "st"),
+        (IClass.BROADCAST, "v"): _T(4, 1, "ld"),
+        # arithmetic
+        (IClass.ADD, "s"): _T(3, 1, "fp"),
+        (IClass.ADD, "v"): _T(3, 1, "fp"),
+        (IClass.MUL, "s"): _T(5, 1, "fp"),
+        (IClass.MUL, "v"): _T(5, 1, "fp"),
+        (IClass.FMA, "s"): _T(5, 1, "fp"),
+        (IClass.FMA, "v"): _T(5, 1, "fp"),
+        (IClass.DIV, "s"): _T(11, 4, "fp"),
+        (IClass.DIV, "v"): _T(19, 12, "fp"),
+        (IClass.SQRT, "s"): _T(12, 5, "fp"),
+        (IClass.SQRT, "v"): _T(21, 12, "fp"),
+        (IClass.EXP, "s"): _T(40, 20, "fp"),
+        (IClass.ABS, "s"): _T(1, 1, "fp"),
+        (IClass.ABS, "v"): _T(1, 1, "fp"),
+        (IClass.MINMAX, "s"): _T(3, 1, "fp"),
+        (IClass.MINMAX, "v"): _T(3, 1, "fp"),
+        # compare / select / bitwise
+        (IClass.CMP, "s"): _T(3, 1, "fp"),
+        (IClass.CMP, "v"): _T(3, 1, "fp"),
+        (IClass.BLEND, "s"): _T(2, 1, "int"),
+        (IClass.BLEND, "v"): _T(2, 1, "fp"),
+        (IClass.LOGIC, "s"): _T(1, 1, "int"),
+        (IClass.LOGIC, "v"): _T(1, 1, "fp"),
+        (IClass.SHIFT, "s"): _T(1, 1, "int"),
+        (IClass.SHIFT, "v"): _T(1, 1, "fp"),
+        (IClass.CVT, "s"): _T(4, 1, "fp"),
+        (IClass.CVT, "v"): _T(4, 1, "fp"),
+        # lane movement (shuffle port)
+        (IClass.SHUFFLE, "v"): _T(1, 1, "shuf"),
+        (IClass.INSERT, "v"): _T(3, 1, "shuf"),
+        (IClass.EXTRACT, "v"): _T(3, 1, "shuf"),
+        (IClass.REDUCE, "v"): _T(10, 3, "shuf"),
+    }
+
+
+def _int_timings() -> dict:
+    return {
+        (IClass.ADD, "s"): _T(1, 1, "int"),
+        (IClass.ADD, "v"): _T(1, 1, "fp"),
+        (IClass.MUL, "s"): _T(3, 1, "int"),
+        (IClass.MUL, "v"): _T(5, 1, "fp"),
+        (IClass.CMP, "s"): _T(1, 1, "int"),
+        (IClass.CMP, "v"): _T(1, 1, "fp"),
+        (IClass.MINMAX, "s"): _T(1, 1, "int"),
+        (IClass.MINMAX, "v"): _T(1, 1, "fp"),
+        (IClass.ABS, "s"): _T(1, 1, "int"),
+        (IClass.ABS, "v"): _T(1, 1, "fp"),
+        (IClass.BLEND, "s"): _T(1, 1, "int"),
+        (IClass.BLEND, "v"): _T(1, 1, "fp"),
+    }
+
+
+X86_AVX2 = Target(
+    name="x86-avx2",
+    vector_bits=256,
+    issue_width=4,
+    ports={"fp": 2, "shuf": 1, "ld": 2, "st": 1, "int": 3},
+    timings=_timings(),
+    int_timings=_int_timings(),
+    cache=CacheHierarchy(
+        levels=(
+            CacheLevel("L1", 32 * 1024, 48.0),
+            CacheLevel("L2", 256 * 1024, 32.0),
+            CacheLevel("L3", 20 * 1024 * 1024, 16.0),
+        ),
+        dram_bytes_per_cycle=8.0,
+    ),
+    has_gather=True,
+    has_scatter=False,
+    has_masked_mem=True,
+    max_interleave_stride=4,
+)

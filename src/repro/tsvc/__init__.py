@@ -1,0 +1,31 @@
+"""The TSVC benchmark suite re-expressed in the loop IR."""
+
+from .suite import (
+    Dims,
+    KernelEntry,
+    LEN,
+    LEN2,
+    STANDARD_DIMS,
+    all_kernels,
+    get_entry,
+    get_kernel,
+    kernel,
+    kernel_names,
+    kernels_by_category,
+    suite_size,
+)
+
+__all__ = [
+    "Dims",
+    "KernelEntry",
+    "LEN",
+    "LEN2",
+    "STANDARD_DIMS",
+    "all_kernels",
+    "get_entry",
+    "get_kernel",
+    "kernel",
+    "kernel_names",
+    "kernels_by_category",
+    "suite_size",
+]

@@ -1,0 +1,86 @@
+"""TSVC §2.8/§2.9/§2.10/§2.11 — crossing thresholds, wrap-around
+variables, and diagonals (s281…s2111).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import KernelBuilder, select
+from ..ir.expr import CmpKind, Compare, IterValue
+from ..ir.builder import EH
+from .suite import Dims, kernel
+
+
+@kernel("s281", "crossing-thresholds")
+def s281(k: KernelBuilder, d: Dims) -> None:
+    # The a[LEN-1-i] load crosses the a[i] store at i = LEN/2.
+    a, b, c = k.arrays("a", "b", "c")
+    x = k.scalar("x")
+    n = d.n
+    i = k.loop(n)
+    x.set(a[(n - 1) - i] + b[i] * c[i])
+    a[i] = x - 1.0
+    b[i] = x.ref
+
+
+@kernel("s1281", "crossing-thresholds")
+def s1281(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    x = k.scalar("x")
+    i = k.loop(d.n)
+    x.set(b[i] * c[i] + a[i] * dd[i] + e[i])
+    a[i] = x - 1.0
+    b[i] = x.ref
+
+
+@kernel("s291", "wraparound", notes="im1 = i-1 wrap-around recognized into the subscript")
+def s291(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n)
+    a[i] = (b[i] + b[i - 1]) * 0.5
+
+
+@kernel("s292", "wraparound", notes="im1/im2 wrap-arounds recognized into subscripts")
+def s292(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n)
+    a[i] = (b[i] + b[i - 1] + b[i - 2]) * 0.333
+
+
+@kernel("s293", "wraparound")
+def s293(k: KernelBuilder, d: Dims) -> None:
+    # a[i] = a[0]: every iteration reads what iteration 0 wrote.
+    a = k.array("a")
+    i = k.loop(d.n)
+    a[i] = a[0]
+
+
+@kernel("s2101", "diagonals")
+def s2101(k: KernelBuilder, d: Dims) -> None:
+    # Diagonal walk: stride n2+1 through the matrices.
+    aa, bb, cc = k.array2("aa"), k.array2("bb"), k.array2("cc")
+    i = k.loop(d.n2)
+    aa[i, i] = aa[i, i] + bb[i, i] * cc[i, i]
+
+
+@kernel(
+    "s2102",
+    "diagonals",
+    notes="imperfect nest (zero matrix, then unit diagonal) expressed "
+    "as a select on j == i",
+)
+def s2102(k: KernelBuilder, d: Dims) -> None:
+    aa = k.array2("aa")
+    i = k.loop(d.n2)
+    j = k.loop(d.n2)
+    aa[i, j] = select(
+        EH(Compare(CmpKind.EQ, IterValue(0), IterValue(1))), 1.0, 0.0
+    )
+
+
+@kernel("s2111", "wavefronts")
+def s2111(k: KernelBuilder, d: Dims) -> None:
+    # aa[j][i] = (aa[j][i-1] + aa[j-1][i]) / 1.9 — true wavefront.
+    aa = k.array2("aa")
+    j = k.loop(d.n2 - 1)
+    i = k.loop(d.n2 - 1)
+    aa[j + 1, i + 1] = (aa[j + 1, i] + aa[j, i + 1]) / 1.9

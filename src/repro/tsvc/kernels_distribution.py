@@ -1,0 +1,148 @@
+"""TSVC §2.2/§2.3/§2.4 — loop distribution, interchange, node splitting
+(s221…s235, s241…s2244).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import KernelBuilder
+from .suite import Dims, kernel
+
+
+@kernel("s221", "loop-distribution")
+def s221(k: KernelBuilder, d: Dims) -> None:
+    # Distribution would split the saxpy from the b-recurrence; as one
+    # loop the recurrence serializes everything (LLV is all-or-nothing,
+    # SLP can still pack the first statement).
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    i = k.loop(d.n - 1)
+    a[i + 1] = a[i + 1] + c[i + 1] * dd[i + 1]
+    b[i + 1] = b[i] + a[i + 1] + dd[i + 1]
+
+
+@kernel("s1221", "loop-distribution")
+def s1221(k: KernelBuilder, d: Dims) -> None:
+    # Distance-4 recurrence: safe at VF 4 (NEON f32), unsafe at VF 8
+    # (AVX2 f32) — a genuinely target-dependent verdict.
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n - 4)
+    b[i + 4] = b[i] + a[i + 4]
+
+
+@kernel("s222", "loop-distribution")
+def s222(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, e = k.arrays("a", "b", "c", "e")
+    i = k.loop(d.n - 1)
+    a[i + 1] = a[i + 1] + b[i + 1] * c[i + 1]
+    e[i + 1] = e[i] * e[i]
+    a[i + 1] = a[i + 1] - b[i + 1] * c[i + 1]
+
+
+@kernel("s231", "loop-interchange")
+def s231(k: KernelBuilder, d: Dims) -> None:
+    # Column recurrence in the inner loop; interchange would fix it.
+    aa, bb = k.array2("aa"), k.array2("bb")
+    i = k.loop(d.n2)
+    j = k.loop(d.n2 - 1)
+    aa[j + 1, i] = aa[j, i] + bb[j + 1, i]
+
+
+@kernel("s232", "loop-interchange", notes="triangular bound expressed as a guard")
+def s232(k: KernelBuilder, d: Dims) -> None:
+    aa, bb = k.array2("aa"), k.array2("bb")
+    j = k.loop(d.n2 - 1)
+    i = k.loop(d.n2 - 1)
+    with k.if_(i <= j):
+        aa[j + 1, i + 1] = aa[j + 1, i] * aa[j + 1, i] + bb[j + 1, i + 1]
+
+
+@kernel("s1232", "loop-interchange")
+def s1232(k: KernelBuilder, d: Dims) -> None:
+    # Independent, but the inner loop walks columns (strided access).
+    aa, bb, cc = k.array2("aa"), k.array2("bb"), k.array2("cc")
+    j = k.loop(d.n2)
+    i = k.loop(d.n2)
+    aa[i, j] = bb[i, j] + cc[i, j]
+
+
+@kernel("s233", "loop-interchange")
+def s233(k: KernelBuilder, d: Dims) -> None:
+    aa, bb, cc = k.array2("aa"), k.array2("bb"), k.array2("cc")
+    i = k.loop(d.n2 - 1)
+    j = k.loop(d.n2 - 1)
+    aa[j + 1, i + 1] = aa[j, i + 1] + cc[j + 1, i + 1]
+    bb[j + 1, i + 1] = bb[j + 1, i] + cc[j + 1, i + 1]
+
+
+@kernel("s2233", "loop-interchange")
+def s2233(k: KernelBuilder, d: Dims) -> None:
+    aa, bb, cc = k.array2("aa"), k.array2("bb"), k.array2("cc")
+    i = k.loop(d.n2 - 1)
+    j = k.loop(d.n2 - 1)
+    aa[j + 1, i + 1] = aa[j, i + 1] + cc[j + 1, i + 1]
+    bb[i + 1, j + 1] = bb[i, j + 1] + cc[i + 1, j + 1]
+
+
+@kernel(
+    "s235",
+    "loop-interchange",
+    notes="imperfect nest: the outer-loop statement a[i] += b[i]*c[i] is "
+    "dropped; the inner column recurrence decides the verdict either way",
+)
+def s235(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    aa, bb = k.array2("aa"), k.array2("bb")
+    i = k.loop(d.n2)
+    j = k.loop(d.n2 - 1)
+    aa[j + 1, i] = aa[j, i] + bb[j + 1, i] * a[i]
+
+
+@kernel("s241", "node-splitting")
+def s241(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    i = k.loop(d.n - 1)
+    a[i] = b[i] * c[i] * dd[i]
+    b[i] = a[i] * a[i + 1] * dd[i]
+
+
+@kernel("s242", "node-splitting")
+def s242(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    s1 = k.param("s1", value=1.0)
+    s2 = k.param("s2", value=2.0)
+    i = k.loop(d.n - 1)
+    a[i + 1] = a[i] + s1.ref + s2.ref + b[i + 1] + c[i + 1] + dd[i + 1]
+
+
+@kernel("s243", "node-splitting")
+def s243(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n - 1)
+    a[i] = b[i] + c[i] * dd[i]
+    b[i] = a[i] + dd[i] * e[i]
+    a[i] = b[i] + a[i + 1] * dd[i]
+
+
+@kernel("s244", "node-splitting")
+def s244(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    i = k.loop(d.n - 1)
+    a[i] = b[i] + c[i] * dd[i]
+    b[i] = c[i] + b[i]
+    a[i + 1] = b[i] + a[i + 1] * dd[i]
+
+
+@kernel("s1244", "node-splitting")
+def s1244(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    i = k.loop(d.n - 1)
+    a[i] = b[i] + c[i] * c[i] + b[i] * b[i] + c[i]
+    dd[i] = a[i] + a[i + 1]
+
+
+@kernel("s2244", "node-splitting")
+def s2244(k: KernelBuilder, d: Dims) -> None:
+    # Forward output dependence — safe to vectorize as-is.
+    a, b, c, e = k.arrays("a", "b", "c", "e")
+    i = k.loop(d.n - 1)
+    a[i + 1] = b[i] + e[i]
+    a[i] = b[i] + c[i]

@@ -1,0 +1,288 @@
+"""TSVC §2.5/§2.6/§2.7 — scalar/array expansion and control flow
+(s251…s261, s271…s2712).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import KernelBuilder
+from .suite import Dims, kernel
+
+
+@kernel("s251", "scalar-expansion")
+def s251(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    s = k.scalar("s")
+    i = k.loop(d.n)
+    s.set(b[i] + c[i] * dd[i])
+    a[i] = s * s
+
+
+@kernel("s1251", "scalar-expansion")
+def s1251(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    s = k.scalar("s")
+    i = k.loop(d.n)
+    s.set(b[i] + c[i])
+    b[i] = a[i] + dd[i]
+    a[i] = s * e[i]
+
+
+@kernel("s2251", "scalar-expansion")
+def s2251(k: KernelBuilder, d: Dims) -> None:
+    # s is read before it is (re)defined: its value crosses iterations.
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    s = k.scalar("s")
+    i = k.loop(d.n)
+    a[i] = s * e[i]
+    s.set(b[i] + c[i])
+    b[i] = a[i] + dd[i]
+
+
+@kernel("s3251", "scalar-expansion")
+def s3251(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n - 1)
+    a[i + 1] = b[i] + c[i]
+    b[i] = c[i] * e[i]
+    dd[i] = a[i] * e[i]
+
+
+@kernel("s252", "scalar-expansion")
+def s252(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    s = k.scalar("s")
+    t = k.scalar("t")
+    i = k.loop(d.n)
+    s.set(b[i] * c[i])
+    a[i] = s + t
+    t.set(s)
+
+
+@kernel("s253", "scalar-expansion")
+def s253(k: KernelBuilder, d: Dims) -> None:
+    # s only defined under the guard — LLVM 6 cannot expand it.
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    s = k.scalar("s")
+    i = k.loop(d.n)
+    with k.if_(a[i] > b[i]):
+        s.set(a[i] - b[i] * dd[i])
+        c[i] = c[i] + s
+        a[i] = s
+
+
+@kernel("s254", "scalar-expansion", notes="wrap-around x = b[i-1] kept as a recurrence")
+def s254(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    x = k.scalar("x")
+    i = k.loop(d.n)
+    a[i] = (b[i] + x) * 0.5
+    x.set(b[i])
+
+
+@kernel("s255", "scalar-expansion")
+def s255(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    x = k.scalar("x")
+    y = k.scalar("y")
+    i = k.loop(d.n)
+    a[i] = (b[i] + x + y) * 0.333
+    y.set(x.ref)
+    x.set(b[i])
+
+
+@kernel("s256", "array-expansion")
+def s256(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    aa, bb = k.array2("aa"), k.array2("bb")
+    i = k.loop(d.n2)
+    j = k.loop(d.n2 - 1)
+    a[j + 1] = aa[j + 1, i] - a[j]
+    aa[j + 1, i] = a[j + 1] + bb[j + 1, i]
+
+
+@kernel("s257", "array-expansion")
+def s257(k: KernelBuilder, d: Dims) -> None:
+    # The store a[i] is invariant in the inner loop.
+    a = k.array("a")
+    aa, bb = k.array2("aa"), k.array2("bb")
+    i = k.loop(d.n2 - 1)
+    j = k.loop(d.n2)
+    a[i + 1] = aa[j, i + 1] - a[i]
+    aa[j, i + 1] = a[i + 1] + bb[j, i + 1]
+
+
+@kernel("s258", "array-expansion")
+def s258(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    aa = k.array2("aa")
+    s = k.scalar("s")
+    i = k.loop(d.n2)
+    with k.if_(a[i] > 0.0):
+        s.set(dd[i] * dd[i])
+    b[i] = s * c[i] + dd[i]
+    e[i] = (s + 1.0) * aa[0, i]
+
+
+@kernel("s261", "scalar-expansion")
+def s261(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    t = k.scalar("t")
+    i = k.loop(d.n - 1)
+    t.set(a[i + 1] + b[i + 1])
+    a[i + 1] = t + c[i]
+    t.set(c[i + 1] * dd[i + 1])
+    c[i + 1] = t.ref
+
+
+@kernel("s271", "control-flow")
+def s271(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(d.n)
+    with k.if_(b[i] > 0.0):
+        a[i] = a[i] + b[i] * c[i]
+
+
+@kernel("s272", "control-flow")
+def s272(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    t = k.param("t", value=0.0)
+    i = k.loop(d.n)
+    with k.if_(e[i] >= t):
+        a[i] = a[i] + c[i] * dd[i]
+        b[i] = b[i] + c[i] * c[i]
+
+
+@kernel("s273", "control-flow")
+def s273(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n)
+    a[i] = a[i] + dd[i] * e[i]
+    with k.if_(a[i] < 0.0):
+        b[i] = b[i] + dd[i] * e[i]
+    c[i] = c[i] + a[i] * dd[i]
+
+
+@kernel("s274", "control-flow")
+def s274(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n)
+    a[i] = c[i] + e[i] * dd[i]
+    with k.if_(a[i] > 0.0):
+        b[i] = a[i] + b[i]
+    with k.else_():
+        a[i] = dd[i] * e[i]
+
+
+@kernel(
+    "s275",
+    "control-flow",
+    notes="the original guards a whole inner loop; the guard is pushed "
+    "into the loop body (same predicate each inner iteration)",
+)
+def s275(k: KernelBuilder, d: Dims) -> None:
+    aa, bb, cc = k.array2("aa"), k.array2("bb"), k.array2("cc")
+    i = k.loop(d.n2)
+    j = k.loop(d.n2 - 1)
+    with k.if_(aa[0, i] > 0.0):
+        aa[j + 1, i] = aa[j, i] + bb[j + 1, i] * cc[j + 1, i]
+
+
+@kernel(
+    "s2275",
+    "control-flow",
+    notes="imperfect nest: the 1-D statement is dropped; the 2-D "
+    "statement's column-strided accesses dominate either way",
+)
+def s2275(k: KernelBuilder, d: Dims) -> None:
+    aa, bb, cc = k.array2("aa"), k.array2("bb"), k.array2("cc")
+    i = k.loop(d.n2)
+    j = k.loop(d.n2)
+    aa[j, i] = aa[j, i] + bb[j, i] * cc[j, i]
+
+
+@kernel("s276", "control-flow")
+def s276(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    mid = d.n // 2
+    i = k.loop(d.n)
+    with k.if_(i + 1 < mid):
+        a[i] = a[i] + b[i] * c[i]
+    with k.else_():
+        a[i] = a[i] + b[i] * dd[i]
+
+
+@kernel("s277", "control-flow", notes="gotos converted to nested ifs")
+def s277(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n - 1)
+    with k.if_(a[i] < 0.0):
+        with k.if_(b[i] < 0.0):
+            a[i] = a[i] + c[i] * dd[i]
+        b[i + 1] = c[i] + dd[i] * e[i]
+
+
+@kernel("s278", "control-flow")
+def s278(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n)
+    with k.if_(a[i] > 0.0):
+        c[i] = -c[i] + dd[i] * e[i]
+    with k.else_():
+        b[i] = -b[i] + dd[i] * e[i]
+    a[i] = b[i] + c[i] * dd[i]
+
+
+@kernel("s279", "control-flow")
+def s279(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n)
+    with k.if_(a[i] > 0.0):
+        c[i] = -c[i] + e[i] * e[i]
+    with k.else_():
+        b[i] = -b[i] + dd[i] * dd[i]
+        c[i] = -c[i] + e[i] * e[i]
+    a[i] = b[i] + c[i] * dd[i]
+
+
+@kernel("s1279", "control-flow")
+def s1279(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n)
+    with k.if_(a[i] < 0.0):
+        with k.if_(b[i] > a[i]):
+            c[i] = c[i] + dd[i] * e[i]
+
+
+@kernel("s2710", "control-flow", notes="x is a scalar argument (x = 1)")
+def s2710(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    x = k.param("x", value=1.0)
+    i = k.loop(d.n)
+    with k.if_(a[i] > b[i]):
+        a[i] = a[i] + b[i] * dd[i]
+        with k.if_(x > 0.0):
+            c[i] = c[i] + dd[i] * dd[i]
+        with k.else_():
+            c[i] = dd[i] * e[i] + 1.0
+    with k.else_():
+        b[i] = a[i] + e[i] * e[i]
+        with k.if_(x > 0.0):
+            c[i] = a[i] + dd[i] * dd[i]
+        with k.else_():
+            c[i] = c[i] + e[i] * e[i]
+
+
+@kernel("s2711", "control-flow")
+def s2711(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(d.n)
+    with k.if_(b[i] != 0.0):
+        a[i] = a[i] + b[i] * c[i]
+
+
+@kernel("s2712", "control-flow")
+def s2712(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(d.n)
+    with k.if_(a[i] > b[i]):
+        a[i] = a[i] + b[i] * c[i]

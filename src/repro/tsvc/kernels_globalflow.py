@@ -1,0 +1,109 @@
+"""TSVC §1.6/§1.7/§2.1 — control flow, symbolics, statement reordering
+(s161…s176, s211, s212, s1213).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import KernelBuilder
+from .suite import Dims, kernel
+
+
+@kernel("s161", "control-flow", notes="goto converted to if/else")
+def s161(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n - 1)
+    with k.if_(b[i] < 0.0):
+        c[i + 1] = a[i] + dd[i] * dd[i]
+    with k.else_():
+        a[i] = c[i] + dd[i] * e[i]
+
+
+@kernel("s1161", "control-flow", notes="goto converted to if/else")
+def s1161(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n)
+    with k.if_(c[i] < 0.0):
+        b[i] = a[i] + dd[i] * dd[i]
+    with k.else_():
+        a[i] = c[i] + dd[i] * e[i]
+
+
+@kernel("s162", "control-flow", notes="k = 1: the guarded recurrence is real")
+def s162(k: KernelBuilder, d: Dims) -> None:
+    # if (k > 0) a[i] = a[i-k] + b[i] — with k = 1 a serial chain.
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n - 1)
+    a[i + 1] = a[i] + b[i + 1]
+
+
+@kernel("s171", "symbolics", notes="symbolic stride inc instantiated to 2")
+def s171(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n // 2)
+    a[2 * i] = a[2 * i] + b[i]
+
+
+@kernel("s172", "symbolics", notes="n1=1, n3=1: unit-stride after substitution")
+def s172(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n)
+    a[i] = a[i] + b[i]
+
+
+@kernel("s173", "symbolics")
+def s173(k: KernelBuilder, d: Dims) -> None:
+    # a[i + LEN/2] = a[i] + b[i] — distance LEN/2 is always safe.
+    a, b = k.arrays("a", "b")
+    half = d.n // 2
+    i = k.loop(half)
+    a[i + half] = a[i] + b[i]
+
+
+@kernel("s174", "symbolics", notes="M = LEN/2 (the call argument)")
+def s174(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    half = d.n // 2
+    i = k.loop(half)
+    a[i + half] = a[i] + b[i]
+
+
+@kernel("s175", "symbolics", notes="inc = 1 substituted")
+def s175(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n - 1)
+    a[i] = a[i + 1] + b[i]
+
+
+@kernel("s176", "symbolics", notes="convolution, m scaled to n2 to bound runtime")
+def s176(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    m = d.n2
+    j = k.loop(m)
+    i = k.loop(m)
+    a[i] = a[i] + b[i - j + (m - 1)] * c[j]
+
+
+@kernel("s211", "statement-reordering")
+def s211(k: KernelBuilder, d: Dims) -> None:
+    # Needs the b-store sunk above the b-load to vectorize; a
+    # straight-line vectorizer must refuse.
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n - 2)
+    a[i + 1] = b[i] + c[i + 1] * dd[i + 1]
+    b[i + 1] = b[i + 2] - e[i + 1]
+
+
+@kernel("s212", "statement-reordering")
+def s212(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    i = k.loop(d.n - 1)
+    a[i] = a[i] * c[i]
+    b[i] = b[i] + a[i + 1] * dd[i]
+
+
+@kernel("s1213", "statement-reordering")
+def s1213(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    i = k.loop(d.n - 2)
+    a[i + 1] = b[i - 1 + 1] + c[i + 1]
+    b[i + 1] = a[i + 2] * dd[i + 1]

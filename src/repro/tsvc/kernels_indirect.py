@@ -1,0 +1,182 @@
+"""TSVC §4.1 indirect addressing (s4112…s4121) and the vector control
+loops (va…vbor).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .suite import Dims, kernel
+
+
+@kernel("s4112", "indirect-addressing")
+def s4112(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    ip = k.array("ip", dtype=DType.I32)
+    s = k.param("s", value=0.5)
+    i = k.loop(d.n)
+    a[i] = a[i] + b[ip[i]] * s
+
+
+@kernel("s4113", "indirect-addressing")
+def s4113(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    ip = k.array("ip", dtype=DType.I32)
+    i = k.loop(d.n)
+    a[ip[i]] = b[ip[i]] + c[i]
+
+
+@kernel("s4114", "indirect-addressing", notes="n1 = 1 substituted")
+def s4114(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    ip = k.array("ip", dtype=DType.I32)
+    i = k.loop(d.n)
+    a[i] = b[i] + c[ip[i]] * dd[i]
+
+
+@kernel("s4115", "indirect-addressing")
+def s4115(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    ip = k.array("ip", dtype=DType.I32)
+    s = k.scalar("sum")
+    i = k.loop(d.n)
+    s.set(s + a[i] * b[ip[i]])
+
+
+@kernel("s4116", "indirect-addressing")
+def s4116(k: KernelBuilder, d: Dims) -> None:
+    # Indirect row index into a matrix column.
+    aa = k.array2("aa")
+    ip = k.array("ip", dtype=DType.I32, extents=(d.n2,))
+    s = k.scalar("sum")
+    j = d.n2 // 2
+    i = k.loop(d.n2 - 1)
+    s.set(s + aa[ip[i], j])
+
+
+@kernel("s4117", "indirect-addressing")
+def s4117(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    ip = k.array("ip", dtype=DType.I32)
+    s = k.scalar("sum")
+    i = k.loop(d.n)
+    s.set(s + a[i] * c[ip[i]] + b[i] * dd[i])
+
+
+@kernel("s4121", "call-statements", notes="f2(b[i], c[i]) = b[i]*c[i] inlined")
+def s4121(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(d.n)
+    a[i] = a[i] + b[i] * c[i]
+
+
+# ---------------------------------------------------------------------------
+# Vector control loops
+# ---------------------------------------------------------------------------
+
+
+@kernel("va", "control-loops")
+def va(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n)
+    a[i] = b[i]
+
+
+@kernel("vag", "control-loops")
+def vag(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    ip = k.array("ip", dtype=DType.I32)
+    i = k.loop(d.n)
+    a[i] = b[ip[i]]
+
+
+@kernel("vas", "control-loops")
+def vas(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    ip = k.array("ip", dtype=DType.I32)
+    i = k.loop(d.n)
+    a[ip[i]] = b[i]
+
+
+@kernel("vif", "control-loops")
+def vif(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n)
+    with k.if_(b[i] > 0.0):
+        a[i] = b[i]
+
+
+@kernel("vpv", "control-loops")
+def vpv(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n)
+    a[i] = a[i] + b[i]
+
+
+@kernel("vtv", "control-loops")
+def vtv(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n)
+    a[i] = a[i] * b[i]
+
+
+@kernel("vpvtv", "control-loops")
+def vpvtv(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(d.n)
+    a[i] = a[i] + b[i] * c[i]
+
+
+@kernel("vpvts", "control-loops")
+def vpvts(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    s = k.param("s", value=0.5)
+    i = k.loop(d.n)
+    a[i] = a[i] + b[i] * s
+
+
+@kernel("vpvpv", "control-loops")
+def vpvpv(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(d.n)
+    a[i] = a[i] + b[i] + c[i]
+
+
+@kernel("vtvtv", "control-loops")
+def vtvtv(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(d.n)
+    a[i] = a[i] * b[i] * c[i]
+
+
+@kernel("vsumr", "control-loops")
+def vsumr(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    s = k.scalar("sum")
+    i = k.loop(d.n)
+    s.set(s + a[i])
+
+
+@kernel("vdotr", "control-loops")
+def vdotr(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    dot = k.scalar("dot")
+    i = k.loop(d.n)
+    dot.set(dot + a[i] * b[i])
+
+
+@kernel("vbor", "control-loops", notes="high arithmetic intensity: ~24 flops per element")
+def vbor(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e, f = k.arrays("a", "b", "c", "d", "e", "f")
+    x = k.array("x")
+    i = k.loop(d.n)
+    a1 = b[i]
+    b1 = c[i]
+    c1 = dd[i]
+    d1 = e[i]
+    e1 = f[i]
+    f1 = a[i]
+    s1 = a1 * b1 * c1 + a1 * b1 * d1 + a1 * b1 * e1 + a1 * b1 * f1
+    s2 = a1 * c1 * d1 + a1 * c1 * e1 + a1 * c1 * f1 + a1 * d1 * e1
+    s3 = a1 * d1 * f1 + a1 * e1 * f1 + b1 * c1 * d1 + b1 * c1 * e1
+    x[i] = s1 + s2 + s3

@@ -1,0 +1,144 @@
+"""TSVC §1.2/§1.3 — induction variable recognition and global data flow
+(s121…s128, s131, s132, s141, s151, s152).
+
+The original loops drive subscripts through auxiliary induction
+variables (``j = i+1``, ``k += 2`` …); strength-reduced forms are what
+any vectorizer sees after induction recognition, so the kernels here
+carry the recognized affine subscripts directly.  Inductions that only
+advance under *control flow* (s123) cannot be recognized and stay
+serial — represented by an explicit running counter that the loop
+stores (the compiler-visible equivalent of the data-dependent write
+position).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .suite import Dims, kernel
+
+
+@kernel("s121", "induction", notes="j = i+1 folded into the subscript")
+def s121(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n - 1)
+    a[i] = a[i + 1] + b[i]
+
+
+@kernel("s122", "induction", notes="k += j induction folded (n1=1, n3=1)")
+def s122(k: KernelBuilder, d: Dims) -> None:
+    # a[i] += b[LEN - k] with k = i+1 → reversed read of b.
+    a, b = k.arrays("a", "b")
+    n = d.n
+    i = k.loop(n)
+    a[i] = a[i] + b[(n - 1) - i]
+
+
+@kernel(
+    "s123",
+    "induction",
+    notes="conditional induction (compress); running position kept as a "
+    "stored counter, which serializes the loop exactly like the "
+    "data-dependent store position does",
+)
+def s123(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    j = k.scalar("j")
+    i = k.loop(d.n // 2)
+    j.set(j + 1.0)
+    a[2 * i] = b[i] + dd[i] * e[i]
+    with k.if_(c[i] > 0.0):
+        j.set(j + 1.0)
+        a[2 * i + 1] = c[i] + dd[i] * e[i]
+    b[i] = j  # the compress cursor is live-out
+
+
+@kernel("s124", "induction", notes="both branches advance j, so j == i")
+def s124(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n)
+    with k.if_(b[i] > 0.0):
+        a[i] = b[i] + dd[i] * e[i]
+    with k.else_():
+        a[i] = c[i] + dd[i] * e[i]
+
+
+@kernel("s125", "induction", notes="k = i*n2 + j flattening folded")
+def s125(k: KernelBuilder, d: Dims) -> None:
+    flat = k.array("flat", extents=(d.n2 * d.n2,))
+    aa, bb, cc = k.array2("aa"), k.array2("bb"), k.array2("cc")
+    i = k.loop(d.n2)
+    j = k.loop(d.n2)
+    flat[i * d.n2 + j] = aa[i, j] + bb[i, j] * cc[i, j]
+
+
+@kernel("s126", "induction", notes="k = i*(n2-1)+j flattening folded")
+def s126(k: KernelBuilder, d: Dims) -> None:
+    # Column recurrence: bb[j][i] = bb[j-1][i] + flat[k-1]*cc[j][i].
+    flat = k.array("flat", extents=(d.n2 * d.n2,))
+    bb, cc = k.array2("bb"), k.array2("cc")
+    i = k.loop(d.n2)
+    j = k.loop(d.n2 - 1)
+    bb[j + 1, i] = bb[j, i] + flat[i * (d.n2 - 1) + j] * cc[j + 1, i]
+
+
+@kernel("s127", "induction", notes="j advances twice per iteration (j = 2i, 2i+1)")
+def s127(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n // 2)
+    a[2 * i] = b[i] + c[i] * dd[i]
+    a[2 * i + 1] = b[i] + dd[i] * e[i]
+
+
+@kernel("s128", "induction", notes="k = 2i folded")
+def s128(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    i = k.loop(d.n // 2)
+    a[i] = b[2 * i] - dd[i]
+    b[2 * i] = a[i] + c[2 * i]
+
+
+@kernel("s131", "global-dataflow", notes="m = 1 forward-substituted")
+def s131(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n - 1)
+    a[i] = a[i + 1] + b[i]
+
+
+@kernel("s132", "global-dataflow", notes="m=0: j=m, k=m+1 forward-substituted")
+def s132(k: KernelBuilder, d: Dims) -> None:
+    aa = k.array2("aa")
+    b, c = k.arrays("b", "c")
+    i = k.loop(d.n2 - 1)
+    aa[0, i + 1] = aa[1, i] + b[i + 1] * c[1]
+
+
+@kernel(
+    "s141",
+    "nonlinear-dependence",
+    notes="triangular packing subscript j(j+1)/2+i is non-affine; "
+    "modelled as an indirect read-modify-write through an index "
+    "array, which preserves the unanalyzable-store verdict",
+)
+def s141(k: KernelBuilder, d: Dims) -> None:
+    flat = k.array("flat", extents=(d.n2 * d.n2,))
+    bb = k.array2("bb")
+    ix = k.array("ix", dtype=DType.I32, extents=(d.n2,))
+    i = k.loop(d.n2)
+    j = k.loop(d.n2)
+    flat[ix[j]] = flat[ix[j]] + bb[j, i]
+
+
+@kernel("s151", "interprocedural", notes="s151s(a, b, 1) inlined")
+def s151(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n - 1)
+    a[i] = a[i + 1] + b[i]
+
+
+@kernel("s152", "interprocedural", notes="s152s(a, b, c, i) inlined")
+def s152(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n)
+    b[i] = dd[i] * e[i]
+    a[i] = a[i] + b[i] * c[i]

@@ -1,0 +1,142 @@
+"""TSVC §1.1 — linear dependence testing (s000, s111…s1119).
+
+These kernels probe whether the compiler's dependence tests can prove
+independence (even/odd interleavings, reversed loops, crossing loads,
+diagonal 2-D dependences) or must give up (true recurrences, transposed
+accesses).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import KernelBuilder
+from .suite import Dims, kernel
+
+
+@kernel("s000", "linear-dependence")
+def s000(k: KernelBuilder, d: Dims) -> None:
+    # The paper's running example (slide 6): a[i] = b[i] + 1.
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n)
+    a[i] = b[i] + 1.0
+
+
+@kernel("s111", "linear-dependence")
+def s111(k: KernelBuilder, d: Dims) -> None:
+    # Odd/even interleaving: a[2i+1] = a[2i] + b[2i+1] — no real dep.
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n // 2 - 1)
+    a[2 * i + 1] = a[2 * i] + b[2 * i + 1]
+
+
+@kernel("s1111", "linear-dependence")
+def s1111(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    i = k.loop(d.n // 2)
+    a[2 * i] = (
+        c[i] * b[i] + dd[i] * b[i] + c[i] * c[i] + dd[i] * b[i] + dd[i] * c[i]
+    )
+
+
+@kernel("s112", "linear-dependence", notes="descending loop normalized to reversed subscripts")
+def s112(k: KernelBuilder, d: Dims) -> None:
+    # for (i = LEN-2; i >= 0; i--) a[i+1] = a[i] + b[i]
+    a, b = k.arrays("a", "b")
+    n = d.n
+    i = k.loop(n - 1)
+    a[(n - 1) - i] = a[(n - 2) - i] + b[(n - 2) - i]
+
+
+@kernel("s1112", "linear-dependence", notes="descending loop normalized to reversed subscripts")
+def s1112(k: KernelBuilder, d: Dims) -> None:
+    # for (i = LEN-1; i >= 0; i--) a[i] = b[i] + 1
+    a, b = k.arrays("a", "b")
+    n = d.n
+    i = k.loop(n)
+    a[(n - 1) - i] = b[(n - 1) - i] + 1.0
+
+
+@kernel("s113", "linear-dependence")
+def s113(k: KernelBuilder, d: Dims) -> None:
+    # a[i] = a[LEN/2] + b[i] — the load crosses the store at i = LEN/2.
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n)
+    a[i] = a[d.n // 2] + b[i]
+
+
+@kernel("s1113", "linear-dependence")
+def s1113(k: KernelBuilder, d: Dims) -> None:
+    # a[i] = a[LEN/2] + b[i], starting mid-array in the original.
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n // 2)
+    a[i] = a[d.n // 2] + b[i]
+
+
+@kernel("s114", "linear-dependence", notes="triangular bound expressed as a guard")
+def s114(k: KernelBuilder, d: Dims) -> None:
+    # aa[i][j] = aa[j][i] + bb[i][j] for j < i — transposed access.
+    aa, bb = k.array2("aa"), k.array2("bb")
+    i = k.loop(d.n2)
+    j = k.loop(d.n2)
+    with k.if_(j < i):
+        aa[i, j] = aa[j, i] + bb[i, j]
+
+
+@kernel("s115", "linear-dependence", notes="triangular bound expressed as a guard")
+def s115(k: KernelBuilder, d: Dims) -> None:
+    # Back substitution: a[i] -= aa[j][i] * a[j] for i > j.
+    a = k.array("a")
+    aa = k.array2("aa")
+    j = k.loop(d.n2)
+    i = k.loop(d.n2)
+    with k.if_(i > j):
+        a[i] = a[i] - aa[j, i] * a[j]
+
+
+@kernel("s1115", "linear-dependence")
+def s1115(k: KernelBuilder, d: Dims) -> None:
+    aa, bb, cc = k.array2("aa"), k.array2("bb"), k.array2("cc")
+    i = k.loop(d.n2)
+    j = k.loop(d.n2)
+    aa[i, j] = aa[i, j] * cc[j, i] + bb[i, j]
+
+
+@kernel("s116", "linear-dependence")
+def s116(k: KernelBuilder, d: Dims) -> None:
+    # Five-statement multiply chain — a genuine serial recurrence.
+    a = k.array("a")
+    i = k.loop(d.n // 5 - 1)
+    a[5 * i] = a[5 * i + 1] * a[5 * i]
+    a[5 * i + 1] = a[5 * i + 2] * a[5 * i + 1]
+    a[5 * i + 2] = a[5 * i + 3] * a[5 * i + 2]
+    a[5 * i + 3] = a[5 * i + 4] * a[5 * i + 3]
+    a[5 * i + 4] = a[5 * i + 5] * a[5 * i + 4]
+
+
+@kernel("s118", "linear-dependence", notes="triangular bound expressed as a guard")
+def s118(k: KernelBuilder, d: Dims) -> None:
+    # a[i] += bb[j][i] * a[i-j-1] for j <= i-1.
+    a = k.array("a")
+    bb = k.array2("bb")
+    i = k.loop(d.n2)
+    j = k.loop(d.n2)
+    with k.if_(j <= i - 1):
+        a[i] = a[i] + bb[j, i] * a[i - j - 1]
+
+
+@kernel("s119", "linear-dependence")
+def s119(k: KernelBuilder, d: Dims) -> None:
+    # Diagonal dependence aa[i-1][j-1]: distance n2+1 in the linearized
+    # space — far beyond any VF, so the inner loop vectorizes.
+    aa, bb = k.array2("aa"), k.array2("bb")
+    i = k.loop(d.n2 - 1)
+    j = k.loop(d.n2 - 1)
+    aa[i + 1, j + 1] = aa[i, j] + bb[i + 1, j + 1]
+
+
+@kernel("s1119", "linear-dependence")
+def s1119(k: KernelBuilder, d: Dims) -> None:
+    # Row-to-row dependence — carried by the outer loop only.
+    aa, bb = k.array2("aa"), k.array2("bb")
+    i = k.loop(d.n2 - 1)
+    j = k.loop(d.n2)
+    aa[i + 1, j] = aa[i, j] + bb[i + 1, j]

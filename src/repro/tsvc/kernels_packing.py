@@ -1,0 +1,272 @@
+"""TSVC §3.4/§3.5/§4.x — packing, loop rerolling, equivalenced storage,
+non-logical ifs, intrinsics and calls (s341…s491).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import KernelBuilder, fexp
+from ..ir.types import DType
+from .suite import Dims, kernel
+
+_PACK_NOTE = (
+    "pack/unpack position is data-dependent; the running cursor is kept "
+    "as a stored counter, which serializes the loop exactly like the "
+    "original compress write position"
+)
+
+
+@kernel("s341", "packing", notes=_PACK_NOTE)
+def s341(k: KernelBuilder, d: Dims) -> None:
+    # Pack positive elements of b into a.
+    a, b = k.arrays("a", "b")
+    j = k.scalar("j")
+    i = k.loop(d.n)
+    with k.if_(b[i] > 0.0):
+        j.set(j + 1.0)
+        a[i] = b[i]
+    b[i] = j  # cursor is live-out
+
+
+@kernel("s342", "packing", notes=_PACK_NOTE)
+def s342(k: KernelBuilder, d: Dims) -> None:
+    # Unpack a into the positive positions of itself.
+    a, b = k.arrays("a", "b")
+    j = k.scalar("j")
+    i = k.loop(d.n)
+    with k.if_(a[i] > 0.0):
+        j.set(j + 1.0)
+        a[i] = b[i]
+    b[i] = j
+
+
+@kernel("s343", "packing", notes=_PACK_NOTE)
+def s343(k: KernelBuilder, d: Dims) -> None:
+    # 2-D pack of positive bb entries into flat storage.
+    flat = k.array("flat", extents=(d.n2 * d.n2,))
+    aa, bb = k.array2("aa"), k.array2("bb")
+    j = k.scalar("j")
+    i = k.loop(d.n2)
+    jj = k.loop(d.n2)
+    with k.if_(bb[jj, i] > 0.0):
+        j.set(j + 1.0)
+        flat[i * d.n2 + jj] = aa[jj, i]
+    aa[jj, i] = j
+
+
+@kernel("s351", "loop-rerolling")
+def s351(k: KernelBuilder, d: Dims) -> None:
+    # Hand-unrolled saxpy, 5 statements per iteration.
+    a, b = k.arrays("a", "b")
+    alpha = k.param("alpha", value=0.75)
+    i = k.loop(d.n // 5)
+    a[5 * i] = a[5 * i] + alpha * b[5 * i]
+    a[5 * i + 1] = a[5 * i + 1] + alpha * b[5 * i + 1]
+    a[5 * i + 2] = a[5 * i + 2] + alpha * b[5 * i + 2]
+    a[5 * i + 3] = a[5 * i + 3] + alpha * b[5 * i + 3]
+    a[5 * i + 4] = a[5 * i + 4] + alpha * b[5 * i + 4]
+
+
+@kernel("s1351", "loop-rerolling", notes="pointer-walk form of plain vector add")
+def s1351(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(d.n)
+    a[i] = b[i] + c[i]
+
+
+@kernel("s352", "loop-rerolling")
+def s352(k: KernelBuilder, d: Dims) -> None:
+    # Hand-unrolled dot product.
+    a, b = k.arrays("a", "b")
+    dot = k.scalar("dot")
+    i = k.loop(d.n // 5)
+    dot.set(
+        dot
+        + a[5 * i] * b[5 * i]
+        + a[5 * i + 1] * b[5 * i + 1]
+        + a[5 * i + 2] * b[5 * i + 2]
+        + a[5 * i + 3] * b[5 * i + 3]
+        + a[5 * i + 4] * b[5 * i + 4]
+    )
+
+
+@kernel("s353", "loop-rerolling", notes="hand-unrolled indirect saxpy")
+def s353(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    ip = k.array("ip", dtype=DType.I32)
+    alpha = k.param("alpha", value=0.75)
+    i = k.loop(d.n // 5)
+    a[5 * i] = a[5 * i] + alpha * b[ip[5 * i]]
+    a[5 * i + 1] = a[5 * i + 1] + alpha * b[ip[5 * i + 1]]
+    a[5 * i + 2] = a[5 * i + 2] + alpha * b[ip[5 * i + 2]]
+    a[5 * i + 3] = a[5 * i + 3] + alpha * b[ip[5 * i + 3]]
+    a[5 * i + 4] = a[5 * i + 4] + alpha * b[ip[5 * i + 4]]
+
+
+@kernel("s421", "storage-classes", notes="xx/yy equivalenced onto one array")
+def s421(k: KernelBuilder, d: Dims) -> None:
+    x = k.array("x")
+    a = k.array("a")
+    i = k.loop(d.n - 1)
+    x[i] = x[i + 1] + a[i]
+
+
+@kernel("s1421", "storage-classes", notes="xx = &b[LEN/2] folded into the subscript")
+def s1421(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    half = d.n // 2
+    i = k.loop(half)
+    b[i] = b[i + half] + a[i]
+
+
+@kernel("s422", "storage-classes", notes="xx = flat + 8 folded; distance-8 recurrence")
+def s422(k: KernelBuilder, d: Dims) -> None:
+    x = k.array("x")
+    a = k.array("a")
+    i = k.loop(d.n - 8)
+    x[i + 8] = x[i] + a[i]
+
+
+@kernel("s423", "storage-classes", notes="xx = flat + 4 folded")
+def s423(k: KernelBuilder, d: Dims) -> None:
+    x = k.array("x")
+    a = k.array("a")
+    i = k.loop(d.n - 4)
+    x[i + 1] = x[i + 4] + a[i]
+
+
+@kernel("s424", "storage-classes", notes="xx = flat + 3 folded; distance-4 output recurrence")
+def s424(k: KernelBuilder, d: Dims) -> None:
+    x = k.array("x")
+    a = k.array("a")
+    i = k.loop(d.n - 4)
+    x[i + 4] = x[i] + a[i]
+
+
+@kernel("s431", "loop-recognition", notes="k = 0 after constant folding")
+def s431(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n)
+    a[i] = a[i] + b[i]
+
+
+@kernel("s441", "non-logical-ifs")
+def s441(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    i = k.loop(d.n)
+    with k.if_(dd[i] < 0.0):
+        a[i] = a[i] + b[i] * c[i]
+    with k.else_():
+        with k.if_(dd[i] == 0.0):
+            a[i] = a[i] + b[i] * b[i]
+        with k.else_():
+            a[i] = a[i] + c[i] * c[i]
+
+
+@kernel("s442", "non-logical-ifs", notes="the switch statement becomes nested ifs on an index array")
+def s442(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    ix = k.array("ix", dtype=DType.I32)
+    i = k.loop(d.n)
+    with k.if_((ix[i] & 1) == 0):
+        with k.if_((ix[i] & 2) == 0):
+            a[i] = a[i] + b[i] * b[i]
+        with k.else_():
+            a[i] = a[i] + c[i] * c[i]
+    with k.else_():
+        with k.if_((ix[i] & 2) == 0):
+            a[i] = a[i] + dd[i] * dd[i]
+        with k.else_():
+            a[i] = a[i] + e[i] * e[i]
+
+
+@kernel("s443", "non-logical-ifs")
+def s443(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    i = k.loop(d.n)
+    with k.if_(dd[i] <= 0.0):
+        a[i] = a[i] + b[i] * c[i]
+    with k.else_():
+        a[i] = a[i] + b[i] * b[i]
+
+
+@kernel("s451", "intrinsics", notes="sin/cos stand-in: exp (scalarized vector call)")
+def s451(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(d.n)
+    a[i] = fexp(b[i]) + c[i] * b[i]
+
+
+@kernel("s452", "intrinsics")
+def s452(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(d.n)
+    a[i] = b[i] + c[i] * (i + 1)
+
+
+@kernel(
+    "s453",
+    "induction",
+    notes="s += 2 is an induction the original compilers recognize; kept "
+    "as a literal recurrence here, so this kernel stays scalar (a "
+    "documented divergence from LLVM, which vectorizes it)",
+)
+def s453(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    s = k.scalar("s")
+    i = k.loop(d.n)
+    s.set(s + 2.0)
+    a[i] = s * b[i]
+
+
+@kernel(
+    "s471",
+    "call-statements",
+    notes="the s471s() call is modelled by an opaque serializing scalar "
+    "(a call is a vectorization barrier)",
+)
+def s471(k: KernelBuilder, d: Dims) -> None:
+    b, c, dd, e, x = k.arrays("b", "c", "d", "e", "x")
+    barrier = k.scalar("side_effect")
+    i = k.loop(d.n)
+    x[i] = b[i] + dd[i] * dd[i]
+    barrier.set(barrier * 0.5 + x[i])
+    b[i] = c[i] + dd[i] * e[i]
+
+
+@kernel(
+    "s481",
+    "control-flow",
+    notes="the original exits the program on d[i] < 0; the exit flag is "
+    "a guarded non-reduction write, preserving the serial verdict",
+)
+def s481(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    flag = k.scalar("flag")
+    i = k.loop(d.n)
+    with k.if_(dd[i] < 0.0):
+        flag.set(1.0)
+    a[i] = a[i] + b[i] * c[i]
+    c[i] = flag.ref
+
+
+@kernel(
+    "s482",
+    "control-flow",
+    notes="loop breaks when c[i] > b[i]; modelled like s481",
+)
+def s482(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    flag = k.scalar("flag")
+    i = k.loop(d.n)
+    a[i] = a[i] + b[i] * c[i]
+    with k.if_(c[i] > b[i]):
+        flag.set(1.0)
+    b[i] = flag.ref
+
+
+@kernel("s491", "indirect-addressing")
+def s491(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd = k.arrays("a", "b", "c", "d")
+    ip = k.array("ip", dtype=DType.I32)
+    i = k.loop(d.n)
+    a[ip[i]] = b[i] + c[i] * dd[i]

@@ -1,0 +1,199 @@
+"""TSVC §3.1–§3.3 — reductions, recurrences, and searches
+(s311…s3113, s321…s323, s331, s332).
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import KernelBuilder, fabs
+from ..ir.types import DType
+from .suite import Dims, kernel
+
+
+@kernel("s311", "reductions")
+def s311(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    s = k.scalar("sum")
+    i = k.loop(d.n)
+    s.set(s + a[i])
+
+
+@kernel("s31111", "reductions", notes="test(a+4i) partial-sum calls inlined")
+def s31111(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    s = k.scalar("sum")
+    i = k.loop(d.n // 4)
+    s.set(s + a[4 * i] + a[4 * i + 1] + a[4 * i + 2] + a[4 * i + 3])
+
+
+@kernel("s312", "reductions")
+def s312(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    prod = k.scalar("prod", init=1.0)
+    i = k.loop(d.n)
+    prod.set(prod * a[i])
+
+
+@kernel("s313", "reductions")
+def s313(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    dot = k.scalar("dot")
+    i = k.loop(d.n)
+    dot.set(dot + a[i] * b[i])
+
+
+@kernel("s314", "reductions")
+def s314(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    x = k.scalar("x", init=-1e30)
+    i = k.loop(d.n)
+    with k.if_(a[i] > x):
+        x.set(a[i])
+
+
+@kernel("s315", "reductions", notes="argmax: the index recurrence blocks vectorization")
+def s315(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    x = k.scalar("x", init=-1e30)
+    index = k.scalar("index", dtype=DType.I32)
+    i = k.loop(d.n)
+    with k.if_(a[i] > x):
+        x.set(a[i])
+        index.set(i.as_value())
+
+
+@kernel("s316", "reductions")
+def s316(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    x = k.scalar("x", init=1e30)
+    i = k.loop(d.n)
+    with k.if_(a[i] < x):
+        x.set(a[i])
+
+
+@kernel("s317", "reductions", notes="geometric series: a product reduction with no arrays")
+def s317(k: KernelBuilder, d: Dims) -> None:
+    q = k.scalar("q", init=1.0)
+    i = k.loop(d.n // 2)
+    q.set(q * 0.99)
+
+
+@kernel("s318", "reductions", notes="index of max |a[i]|; the index recurrence blocks vectorization")
+def s318(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    x = k.scalar("max", init=-1.0)
+    index = k.scalar("index", dtype=DType.I32)
+    i = k.loop(d.n)
+    with k.if_(fabs(a[i]) > x):
+        x.set(fabs(a[i]))
+        index.set(i.as_value())
+
+
+@kernel("s319", "reductions")
+def s319(k: KernelBuilder, d: Dims) -> None:
+    # One sum, fed by two chained updates per iteration.
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    s = k.scalar("sum")
+    i = k.loop(d.n)
+    a[i] = c[i] + dd[i]
+    s.set(s + a[i])
+    b[i] = c[i] + e[i]
+    s.set(s + b[i])
+
+
+@kernel("s3110", "reductions", notes="2-D argmax; index recurrences block vectorization")
+def s3110(k: KernelBuilder, d: Dims) -> None:
+    aa = k.array2("aa")
+    x = k.scalar("max", init=-1e30)
+    xindex = k.scalar("xindex", dtype=DType.I32)
+    i = k.loop(d.n2)
+    j = k.loop(d.n2)
+    with k.if_(aa[i, j] > x):
+        x.set(aa[i, j])
+        xindex.set(i.as_value())
+
+
+@kernel("s13110", "reductions", notes="2-D max without index tracking — vectorizable")
+def s13110(k: KernelBuilder, d: Dims) -> None:
+    aa = k.array2("aa")
+    x = k.scalar("max", init=-1e30)
+    i = k.loop(d.n2)
+    j = k.loop(d.n2)
+    with k.if_(aa[i, j] > x):
+        x.set(aa[i, j])
+
+
+@kernel("s3111", "reductions")
+def s3111(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    s = k.scalar("sum")
+    i = k.loop(d.n)
+    with k.if_(a[i] > 0.0):
+        s.set(s + a[i])
+
+
+@kernel("s3112", "reductions")
+def s3112(k: KernelBuilder, d: Dims) -> None:
+    # Running (prefix) sum stored every iteration — a true recurrence.
+    a, b = k.arrays("a", "b")
+    s = k.scalar("sum")
+    i = k.loop(d.n)
+    s.set(s + a[i])
+    b[i] = s.ref
+
+
+@kernel("s3113", "reductions")
+def s3113(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    x = k.scalar("max", init=-1.0)
+    i = k.loop(d.n)
+    with k.if_(fabs(a[i]) > x):
+        x.set(fabs(a[i]))
+
+
+@kernel("s321", "recurrences")
+def s321(k: KernelBuilder, d: Dims) -> None:
+    a, b = k.arrays("a", "b")
+    i = k.loop(d.n - 1)
+    a[i + 1] = a[i + 1] + a[i] * b[i + 1]
+
+
+@kernel("s322", "recurrences")
+def s322(k: KernelBuilder, d: Dims) -> None:
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(d.n - 2)
+    a[i + 2] = a[i + 2] + a[i + 1] * b[i + 2] + a[i] * c[i + 2]
+
+
+@kernel("s323", "recurrences")
+def s323(k: KernelBuilder, d: Dims) -> None:
+    a, b, c, dd, e = k.arrays("a", "b", "c", "d", "e")
+    i = k.loop(d.n - 1)
+    a[i + 1] = b[i] + c[i + 1] * dd[i + 1]
+    b[i + 1] = a[i + 1] + c[i + 1] * e[i + 1]
+
+
+@kernel("s331", "search", notes="last index with a[i] < 0; the index recurrence is serial")
+def s331(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    j = k.scalar("j", dtype=DType.I32, init=-1)
+    i = k.loop(d.n)
+    with k.if_(a[i] < 0.0):
+        j.set(i.as_value())
+
+
+@kernel(
+    "s332",
+    "search",
+    notes="first value > t; the original breaks out of the loop — the "
+    "early exit is modelled as guarded result updates, preserving the "
+    "not-vectorizable verdict",
+)
+def s332(k: KernelBuilder, d: Dims) -> None:
+    a = k.array("a")
+    t = k.param("t", value=0.9)
+    index = k.scalar("index", dtype=DType.I32, init=-2)
+    value = k.scalar("value", init=-1.0)
+    i = k.loop(d.n)
+    with k.if_(a[i] > t):
+        index.set(i.as_value())
+        value.set(a[i])

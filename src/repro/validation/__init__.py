@@ -1,0 +1,40 @@
+"""Validation: metrics, LOOCV/k-fold, and decision-policy evaluation."""
+
+from .metrics import (
+    BENEFIT_THRESHOLD,
+    Confusion,
+    EvalReport,
+    confusion,
+    evaluate,
+    mae,
+    pearson,
+    rmse,
+    spearman,
+)
+from .loocv import kfold_predictions, loocv_predictions
+from .decisions import (
+    PolicyOutcome,
+    always_cycles,
+    never_cycles,
+    oracle_cycles,
+    policy_cycles,
+)
+
+__all__ = [
+    "BENEFIT_THRESHOLD",
+    "Confusion",
+    "EvalReport",
+    "confusion",
+    "evaluate",
+    "mae",
+    "pearson",
+    "rmse",
+    "spearman",
+    "kfold_predictions",
+    "loocv_predictions",
+    "PolicyOutcome",
+    "always_cycles",
+    "never_cycles",
+    "oracle_cycles",
+    "policy_cycles",
+]

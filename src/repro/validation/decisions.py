@@ -1,0 +1,79 @@
+"""Execution-time impact of cost-model-guided decisions.
+
+The paper's conclusion claims its refined model "lowers execution
+times": the compiler vectorizes exactly the loops the model predicts
+beneficial, so total runtime over the suite is the sum of each loop's
+chosen version.  This module evaluates that policy against the
+reference policies (oracle, always-vectorize, never-vectorize).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..costmodel.base import Sample
+from .metrics import BENEFIT_THRESHOLD
+
+
+def _totals(samples: Sequence[Sample]) -> tuple[np.ndarray, np.ndarray]:
+    """Per-kernel total scalar and vector cycles (per element basis).
+
+    Samples carry per-iteration cycles; scalar iterations retire one
+    element and vector iterations VF elements, so per-element cycles
+    are directly comparable.
+    """
+    scalar = np.array([s.measured_scalar_cpi for s in samples])
+    vector = np.array([s.measured_vector_cpi / s.vf for s in samples])
+    return scalar, vector
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    name: str
+    cycles: float
+    vectorized: int
+    total: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.cycles:.1f} cycles/elem-suite "
+            f"({self.vectorized}/{self.total} loops vectorized)"
+        )
+
+
+def policy_cycles(
+    samples: Sequence[Sample],
+    predictions: np.ndarray,
+    threshold: float = BENEFIT_THRESHOLD,
+    name: str = "model",
+) -> PolicyOutcome:
+    """Total cycles when vectorizing iff the model predicts benefit.
+
+    NaN predictions (failed LOOCV folds) fall back to not vectorizing.
+    """
+    scalar, vector = _totals(samples)
+    predictions = np.asarray(predictions, dtype=np.float64)
+    take_vec = np.nan_to_num(predictions, nan=0.0) > threshold
+    cycles = float(np.where(take_vec, vector, scalar).sum())
+    return PolicyOutcome(name, cycles, int(take_vec.sum()), len(samples))
+
+
+def oracle_cycles(samples: Sequence[Sample]) -> PolicyOutcome:
+    scalar, vector = _totals(samples)
+    best = np.minimum(scalar, vector)
+    return PolicyOutcome(
+        "oracle", float(best.sum()), int(np.sum(vector < scalar)), len(samples)
+    )
+
+
+def always_cycles(samples: Sequence[Sample]) -> PolicyOutcome:
+    scalar, vector = _totals(samples)
+    return PolicyOutcome("always-vectorize", float(vector.sum()), len(samples), len(samples))
+
+
+def never_cycles(samples: Sequence[Sample]) -> PolicyOutcome:
+    scalar, _ = _totals(samples)
+    return PolicyOutcome("never-vectorize", float(scalar.sum()), 0, len(samples))

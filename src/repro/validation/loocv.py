@@ -1,0 +1,66 @@
+"""Leave-one-out cross validation (paper slides 11 and 16).
+
+Each kernel is predicted by a model fitted on all *other* kernels —
+the honest estimate of how the fitted cost model generalizes to loops
+it has never seen, which is how a compiler would actually use it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..costmodel.base import FittedModel, Sample
+from ..fitting.base import FitError
+
+ModelFactory = Callable[[], FittedModel]
+
+
+def loocv_predictions(
+    factory: ModelFactory, samples: Sequence[Sample]
+) -> np.ndarray:
+    """Out-of-fold speedup prediction for every sample.
+
+    A fold whose fit fails (degenerate feature matrix after removing
+    the held-out kernel) predicts NaN; callers decide how to count it.
+    """
+    samples = list(samples)
+    preds = np.full(len(samples), np.nan)
+    for i, held_out in enumerate(samples):
+        train = samples[:i] + samples[i + 1 :]
+        model = factory()
+        try:
+            model.fit(train)
+            preds[i] = model.predict_speedup(held_out)
+        except (FitError, FloatingPointError):
+            continue
+    return preds
+
+
+def kfold_predictions(
+    factory: ModelFactory,
+    samples: Sequence[Sample],
+    k: int = 10,
+    seed: int = 0,
+) -> np.ndarray:
+    """k-fold variant; cheaper than LOOCV, same contract."""
+    samples = list(samples)
+    n = len(samples)
+    if k < 2 or k > n:
+        raise ValueError(f"k={k} invalid for {n} samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    preds = np.full(n, np.nan)
+    folds = np.array_split(order, k)
+    for fold in folds:
+        hold = set(int(j) for j in fold)
+        train = [s for j, s in enumerate(samples) if j not in hold]
+        model = factory()
+        try:
+            model.fit(train)
+        except (FitError, FloatingPointError):
+            continue
+        for j in hold:
+            preds[j] = model.predict_speedup(samples[j])
+    return preds

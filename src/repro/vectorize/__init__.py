@@ -1,0 +1,21 @@
+"""Vectorizers: legality, LLV loop vectorization, unrolling, SLP."""
+
+from .legality import Legality, check_legality, natural_vf, widest_dtype
+from .plan import VectorizationFailure, VectorizationPlan, is_plan
+from .llv import vectorize_loop
+from .unroll import UnrollError, unroll
+from .slp import slp_vectorize
+
+__all__ = [
+    "Legality",
+    "check_legality",
+    "natural_vf",
+    "widest_dtype",
+    "VectorizationFailure",
+    "VectorizationPlan",
+    "is_plan",
+    "vectorize_loop",
+    "UnrollError",
+    "unroll",
+    "slp_vectorize",
+]

@@ -1,0 +1,79 @@
+"""Vectorization legality: the paper's first question, "is it possible?".
+
+A loop is vectorizable at factor VF when
+
+* no scalar is a serializing recurrence (reductions are fine),
+* every memory dependence carried by the inner loop is forward or has
+  distance ≥ VF (see :mod:`repro.analysis.dependence`),
+* no store writes a loop-invariant location (last-value stores are out
+  of scope, as in the paper's LLV configuration).
+
+Control flow is never a legality problem — it is if-converted — and
+indirect accesses are legal as long as they create no *conflicting*
+unknown dependence (pure gather reads, scatter writes to an array that
+is never read in the loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.access import collect_accesses
+from ..analysis.dependence import DependenceInfo, analyze_dependences
+from ..analysis.reduction import ScalarClass, ScalarInfo, classify_scalars
+from ..ir.kernel import LoopKernel
+from ..ir.types import DType
+from ..targets.base import Target
+
+
+@dataclass(frozen=True)
+class Legality:
+    ok: bool
+    reason: str
+    detail: str
+    max_safe_vf: float
+    scalar_info: dict[str, ScalarInfo]
+    dep_info: DependenceInfo
+
+
+def widest_dtype(kernel: LoopKernel) -> DType:
+    """The widest element type the kernel touches (decides natural VF)."""
+    widest = DType.F32
+    for decl in kernel.arrays.values():
+        if decl.dtype.size > widest.size:
+            widest = decl.dtype
+    for decl in kernel.scalars.values():
+        if decl.dtype.size > widest.size:
+            widest = decl.dtype
+    return widest
+
+
+def natural_vf(kernel: LoopKernel, target: Target) -> int:
+    """LLVM-style VF selection: full register of the widest type."""
+    return max(2, target.lanes(widest_dtype(kernel)))
+
+
+def check_legality(kernel: LoopKernel, vf: int) -> Legality:
+    scalar_info = classify_scalars(kernel)
+    dep_info = analyze_dependences(kernel)
+
+    def fail(reason: str, detail: str = "") -> Legality:
+        return Legality(False, reason, detail, dep_info.max_safe_vf(), scalar_info, dep_info)
+
+    for name, info in scalar_info.items():
+        if info.klass is ScalarClass.RECURRENCE:
+            return fail("scalar recurrence", f"scalar {name!r} carries a serial dependence")
+
+    unsafe = dep_info.unsafe_for(vf)
+    if unsafe:
+        return fail("unsafe memory dependence", str(unsafe[0]))
+
+    for acc in collect_accesses(kernel):
+        if acc.is_store and acc.stride == 0:
+            return fail(
+                "loop-invariant store",
+                f"store to {acc.array} does not move with the inner loop",
+            )
+
+    return Legality(True, "ok", "", dep_info.max_safe_vf(), scalar_info, dep_info)

@@ -1,0 +1,48 @@
+"""Loop-level vectorizer (LLV) driver.
+
+Mirrors the configuration the paper studies: LLVM 6.0's loop
+vectorizer with the cost model overridden — i.e. *always* vectorize
+when legal, at the natural VF, with no unrolling and no interleaving.
+The benefit question is answered afterwards by the cost models under
+study, never here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..ir.kernel import LoopKernel
+from ..targets.base import Target
+from .legality import check_legality, natural_vf
+from .plan import VectorizationFailure, VectorizationPlan
+
+
+def vectorize_loop(
+    kernel: LoopKernel,
+    target: Target,
+    vf: Optional[int] = None,
+) -> Union[VectorizationPlan, VectorizationFailure]:
+    """Build an LLV vectorization plan for ``kernel`` on ``target``.
+
+    Returns a :class:`VectorizationFailure` when the loop is not legal
+    to vectorize at the requested (or natural) factor.
+    """
+    chosen_vf = vf if vf is not None else natural_vf(kernel, target)
+    if chosen_vf < 2:
+        return VectorizationFailure(kernel, "vf too small", f"VF={chosen_vf}")
+    if kernel.inner.trip < chosen_vf:
+        return VectorizationFailure(
+            kernel, "trip count below VF", f"trip={kernel.inner.trip}, VF={chosen_vf}"
+        )
+
+    legality = check_legality(kernel, chosen_vf)
+    if not legality.ok:
+        return VectorizationFailure(kernel, legality.reason, legality.detail)
+
+    return VectorizationPlan(
+        kernel=kernel,
+        vf=chosen_vf,
+        scalar_info=legality.scalar_info,
+        dep_info=legality.dep_info,
+        kind="llv",
+    )

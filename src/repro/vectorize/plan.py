@@ -1,0 +1,68 @@
+"""Vectorization plans and failures.
+
+A :class:`VectorizationPlan` is the contract between the vectorizers
+(LLV, SLP) and vector code generation / vector execution: the kernel,
+the chosen vectorization factor, the scalar classification, and — for
+SLP — which top-level statements were packed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.dependence import DependenceInfo
+from ..analysis.reduction import ScalarClass, ScalarInfo
+from ..ir.kernel import LoopKernel
+
+
+@dataclass(frozen=True)
+class VectorizationPlan:
+    kernel: LoopKernel
+    vf: int
+    scalar_info: dict[str, ScalarInfo]
+    dep_info: DependenceInfo
+    kind: str = "llv"  # "llv" | "slp"
+    #: SLP only: indices of top-level statements that were packed; the
+    #: rest execute as ``vf`` scalar copies.
+    packed_stmts: frozenset[int] = frozenset()
+    notes: str = ""
+
+    @property
+    def reductions(self) -> dict[str, ScalarInfo]:
+        return {
+            n: s
+            for n, s in self.scalar_info.items()
+            if s.klass is ScalarClass.REDUCTION
+        }
+
+    @property
+    def has_guards(self) -> bool:
+        from ..ir.stmt import IfBlock
+
+        return any(isinstance(s, IfBlock) for s in self.kernel.stmts())
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind.upper()} plan for {self.kernel.name}: VF={self.vf}, "
+            f"{len(self.reductions)} reduction(s)"
+            + (f", packed {sorted(self.packed_stmts)}" if self.kind == "slp" else "")
+        )
+
+
+@dataclass(frozen=True)
+class VectorizationFailure:
+    kernel: LoopKernel
+    reason: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        msg = f"{self.kernel.name}: not vectorizable ({self.reason})"
+        return f"{msg}: {self.detail}" if self.detail else msg
+
+
+PlanOrFailure = "VectorizationPlan | VectorizationFailure"
+
+
+def is_plan(result) -> bool:
+    return isinstance(result, VectorizationPlan)

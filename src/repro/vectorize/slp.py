@@ -1,0 +1,137 @@
+"""SLP-style (superword-level parallelism) vectorizer.
+
+Models LLVM's SLP pass the way the paper's x86 study uses it: unroll
+the loop by VF, then pack the resulting isomorphic statement copies
+into vector operations.  Because the copies come from unrolling, the
+pack test reduces to per-statement rules on the *original* body:
+
+* an ``ArrayStore`` packs when its store is unit-stride and its
+  expression uses only affine loads, parameters, and packable private
+  scalars (SLP builds no gathers for indirect subscripts — such
+  statements stay scalar, giving *partial* vectorization, something
+  all-or-nothing LLV cannot do);
+* an unguarded reduction update packs (horizontal-reduction matching);
+* control flow does not pack (no if-conversion in SLP), so IfBlocks
+  and everything inside them stays scalar;
+* a private scalar packs only when its definition packs *and* no
+  scalar (unpacked) statement consumes it.
+
+Legality is the loop-vectorization check at the same factor — packing
+lanes reorders iterations exactly like LLV does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..analysis.access import AccessPattern, linearize
+from ..analysis.reduction import ScalarClass
+from ..ir.expr import Expr, Indirect, Load, ScalarRef
+from ..ir.kernel import LoopKernel
+from ..ir.stmt import ArrayStore, IfBlock, ScalarAssign, Stmt
+from ..targets.base import Target
+from .legality import check_legality, natural_vf
+from .plan import VectorizationFailure, VectorizationPlan
+
+
+def _has_indirect_load(expr: Expr) -> bool:
+    for node in expr.walk():
+        if isinstance(node, Load) and any(
+            isinstance(ix, Indirect) for ix in node.subscript
+        ):
+            return True
+    return False
+
+
+def _scalar_refs(expr: Expr) -> set[str]:
+    return {n.name for n in expr.walk() if isinstance(n, ScalarRef)}
+
+
+def slp_vectorize(
+    kernel: LoopKernel,
+    target: Target,
+    vf: Optional[int] = None,
+) -> Union[VectorizationPlan, VectorizationFailure]:
+    factor = vf if vf is not None else natural_vf(kernel, target)
+    if factor < 2:
+        return VectorizationFailure(kernel, "vf too small", f"VF={factor}")
+    if kernel.inner.trip < factor:
+        return VectorizationFailure(
+            kernel,
+            "trip count below unroll factor",
+            f"trip={kernel.inner.trip}, factor={factor}",
+        )
+    legality = check_legality(kernel, factor)
+    if not legality.ok:
+        return VectorizationFailure(kernel, legality.reason, legality.detail)
+
+    info = legality.scalar_info
+    params = {n for n, s in info.items() if s.klass is ScalarClass.PARAM}
+    privates = {n for n, s in info.items() if s.klass is ScalarClass.PRIVATE}
+    reductions = {n for n, s in info.items() if s.klass is ScalarClass.REDUCTION}
+
+    # Privates consumed by scalar-side code can never pack.
+    scalar_consumed: set[str] = set()
+    for stmt in kernel.body:
+        if isinstance(stmt, IfBlock):
+            for inner_stmt in stmt.walk():
+                for root in inner_stmt.exprs():
+                    scalar_consumed |= _scalar_refs(root) & privates
+
+    packable_privates = set(privates) - scalar_consumed
+    # Iterate to a fixpoint: a statement referencing an unpackable
+    # private is unpackable, and an unpackable private definition makes
+    # its name unpackable.
+    while True:
+        changed = False
+        for stmt in kernel.body:
+            if not isinstance(stmt, ScalarAssign) or stmt.name not in packable_privates:
+                continue
+            refs = _scalar_refs(stmt.value) - params - reductions - {stmt.name}
+            if _has_indirect_load(stmt.value) or not refs <= packable_privates:
+                packable_privates.discard(stmt.name)
+                changed = True
+        if not changed:
+            break
+
+    packed: set[int] = set()
+    for idx, stmt in enumerate(kernel.body):
+        if isinstance(stmt, IfBlock):
+            continue
+        if isinstance(stmt, ScalarAssign):
+            if stmt.name in packable_privates:
+                packed.add(idx)
+            elif (
+                stmt.name in reductions
+                and not info[stmt.name].guarded
+                and not _has_indirect_load(stmt.value)
+                and (_scalar_refs(stmt.value) - {stmt.name} - params)
+                <= packable_privates
+            ):
+                packed.add(idx)
+            continue
+        assert isinstance(stmt, ArrayStore)
+        lin = linearize(kernel.arrays[stmt.array], stmt.subscript, kernel.depth)
+        if lin is None or lin.coeff(kernel.inner_level) != 1:
+            continue
+        if _has_indirect_load(stmt.value):
+            continue
+        refs = _scalar_refs(stmt.value) - params - reductions
+        if not refs <= packable_privates:
+            continue
+        packed.add(idx)
+
+    if not packed:
+        return VectorizationFailure(
+            kernel, "no packable groups", "SLP found nothing to vectorize"
+        )
+
+    return VectorizationPlan(
+        kernel=kernel,
+        vf=factor,
+        scalar_info=info,
+        dep_info=legality.dep_info,
+        kind="slp",
+        packed_stmts=frozenset(packed),
+        notes=f"packed {len(packed)}/{len(kernel.body)} top-level statements",
+    )

@@ -1,0 +1,149 @@
+"""Inner-loop unrolling.
+
+The paper's x86 configuration applies SLP vectorization *after loop
+unrolling* (slide 17): unrolling by VF materializes VF isomorphic
+statement copies that SLP can pack back into vectors.  The transform
+normalizes subscripts — for copy ``u`` of an index ``c·i + o`` the new
+index is ``(c·f)·i' + (o + c·u)`` — renames iteration-private scalars
+per copy, and keeps reduction/recurrence scalars shared so their
+sequential semantics survive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..analysis.reduction import ScalarClass, classify_scalars
+from ..ir.expr import (
+    Affine,
+    BinOp,
+    BinOpKind,
+    Compare,
+    Const,
+    Convert,
+    Expr,
+    Indirect,
+    IterValue,
+    Load,
+    ScalarRef,
+    Select,
+    UnOp,
+)
+from ..ir.kernel import Loop, LoopKernel, ScalarDecl
+from ..ir.stmt import ArrayStore, IfBlock, ScalarAssign, Stmt
+from ..ir.types import DType
+
+
+class UnrollError(Exception):
+    pass
+
+
+def _shift_index(ix, inner: int, factor: int, u: int):
+    if isinstance(ix, Affine):
+        c = ix.coeff(inner)
+        coeffs = list(ix.coeffs)
+        if inner < len(coeffs):
+            coeffs[inner] = c * factor
+        return Affine(tuple(coeffs), ix.offset + c * u)
+    assert isinstance(ix, Indirect)
+    return Indirect(ix.array, _shift_index(ix.index, inner, factor, u))
+
+
+def _rewrite_expr(
+    expr: Expr,
+    inner: int,
+    factor: int,
+    u: int,
+    rename: Callable[[str], str],
+) -> Expr:
+    rec = lambda e: _rewrite_expr(e, inner, factor, u, rename)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, ScalarRef):
+        return ScalarRef(rename(expr.name), expr.dtype)
+    if isinstance(expr, IterValue):
+        if expr.level != inner:
+            return expr
+        # i = factor*i' + u
+        scaled: Expr = BinOp(
+            BinOpKind.MUL, IterValue(expr.level), Const(factor, DType.I32)
+        )
+        if u:
+            scaled = BinOp(BinOpKind.ADD, scaled, Const(u, DType.I32))
+        return scaled
+    if isinstance(expr, Load):
+        sub = tuple(_shift_index(ix, inner, factor, u) for ix in expr.subscript)
+        return Load(expr.array, sub, expr.dtype)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, rec(expr.lhs), rec(expr.rhs))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, rec(expr.operand))
+    if isinstance(expr, Compare):
+        return Compare(expr.op, rec(expr.lhs), rec(expr.rhs))
+    if isinstance(expr, Select):
+        return Select(rec(expr.cond), rec(expr.if_true), rec(expr.if_false))
+    if isinstance(expr, Convert):
+        return Convert(rec(expr.operand), expr.dtype)
+    raise UnrollError(f"cannot rewrite {type(expr).__name__}")
+
+
+def _rewrite_stmt(
+    stmt: Stmt, inner: int, factor: int, u: int, rename: Callable[[str], str]
+) -> Stmt:
+    if isinstance(stmt, ArrayStore):
+        sub = tuple(_shift_index(ix, inner, factor, u) for ix in stmt.subscript)
+        return ArrayStore(
+            stmt.array, sub, _rewrite_expr(stmt.value, inner, factor, u, rename)
+        )
+    if isinstance(stmt, ScalarAssign):
+        return ScalarAssign(
+            rename(stmt.name), _rewrite_expr(stmt.value, inner, factor, u, rename)
+        )
+    if isinstance(stmt, IfBlock):
+        return IfBlock(
+            _rewrite_expr(stmt.cond, inner, factor, u, rename),
+            tuple(_rewrite_stmt(s, inner, factor, u, rename) for s in stmt.then_body),
+            tuple(_rewrite_stmt(s, inner, factor, u, rename) for s in stmt.else_body),
+        )
+    raise UnrollError(f"cannot rewrite {type(stmt).__name__}")
+
+
+def unroll(kernel: LoopKernel, factor: int) -> LoopKernel:
+    """Unroll the innermost loop by ``factor`` (trip must divide)."""
+    if factor < 2:
+        raise UnrollError(f"unroll factor must be >= 2, got {factor}")
+    if kernel.inner.trip % factor != 0:
+        raise UnrollError(
+            f"trip {kernel.inner.trip} not divisible by factor {factor}"
+        )
+    inner = kernel.inner_level
+    info = classify_scalars(kernel)
+    private = {n for n, s in info.items() if s.klass is ScalarClass.PRIVATE}
+
+    scalars: dict[str, ScalarDecl] = {}
+    body: list[Stmt] = []
+    for name, decl in kernel.scalars.items():
+        if name not in private:
+            scalars[name] = decl
+    for u in range(factor):
+        def rename(name: str, _u=u) -> str:
+            return f"{name}__u{_u}" if name in private else name
+
+        for name in private:
+            new = rename(name)
+            d = kernel.scalars[name]
+            scalars[new] = ScalarDecl(new, d.dtype, d.init)
+        for stmt in kernel.body:
+            body.append(_rewrite_stmt(stmt, inner, factor, u, rename))
+
+    loops = list(kernel.loops)
+    loops[inner] = Loop(kernel.inner.trip // factor)
+    return LoopKernel(
+        name=f"{kernel.name}.u{factor}",
+        loops=tuple(loops),
+        arrays=dict(kernel.arrays),
+        scalars=scalars,
+        body=tuple(body),
+        category=kernel.category,
+        source=kernel.source,
+    )

@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import KernelBuilder
+from repro.targets import ARMV8_NEON, GENERIC_IR, X86_AVX2
+from repro.tsvc import Dims
+
+#: Small suite dimensions: fast functional execution, still large
+#: enough for every kernel's derived strides/offsets (n//2, n//5, …).
+SMALL = Dims(n=240, n2=16)
+
+
+@pytest.fixture
+def arm():
+    return ARMV8_NEON
+
+
+@pytest.fixture
+def x86():
+    return X86_AVX2
+
+
+@pytest.fixture
+def generic_ir():
+    return GENERIC_IR
+
+
+@pytest.fixture
+def small_dims():
+    return SMALL

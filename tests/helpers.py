@@ -1,0 +1,35 @@
+"""Shared helper functions for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import KernelBuilder
+from repro.tsvc import Dims
+
+#: Small suite dimensions: fast functional execution, still large
+#: enough for every kernel's derived strides/offsets (n//2, n//5, ...).
+SMALL = Dims(n=240, n2=16)
+
+
+def build(name: str, body_fn, **kwargs):
+    """Build a kernel from a function ``body_fn(k)``."""
+    k = KernelBuilder(name, **kwargs)
+    body_fn(k)
+    return k.build()
+
+
+def copy_buffers(bufs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    return {name: arr.copy() for name, arr in bufs.items()}
+
+
+def assert_buffers_close(a, b, rtol=2e-4, atol=1e-5, context=""):
+    assert set(a) == set(b), f"{context}: buffer sets differ"
+    for name in a:
+        np.testing.assert_allclose(
+            a[name],
+            b[name],
+            rtol=rtol,
+            atol=atol,
+            err_msg=f"{context}: array {name!r} diverged",
+        )

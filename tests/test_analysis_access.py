@@ -1,0 +1,141 @@
+"""Access-pattern classification tests."""
+
+import pytest
+
+from repro.analysis.access import (
+    AccessPattern,
+    classify_stride,
+    collect_accesses,
+    dim_strides,
+    linearize,
+)
+from repro.ir import DType, KernelBuilder
+from repro.ir.kernel import ArrayDecl
+
+from tests.helpers import build
+
+
+class TestStrideClassification:
+    @pytest.mark.parametrize(
+        "stride,pattern",
+        [
+            (1, AccessPattern.CONTIGUOUS),
+            (-1, AccessPattern.REVERSE),
+            (2, AccessPattern.STRIDED),
+            (-5, AccessPattern.STRIDED),
+            (0, AccessPattern.INVARIANT),
+            (None, AccessPattern.INDIRECT),
+        ],
+    )
+    def test_classify(self, stride, pattern):
+        assert classify_stride(stride) is pattern
+
+
+class TestDimStrides:
+    def test_1d(self):
+        assert dim_strides(ArrayDecl("a", DType.F32, (100,))) == (1,)
+
+    def test_2d_row_major(self):
+        assert dim_strides(ArrayDecl("aa", DType.F32, (16, 32))) == (32, 1)
+
+    def test_3d(self):
+        assert dim_strides(ArrayDecl("t", DType.F32, (4, 5, 6))) == (30, 6, 1)
+
+
+class TestLinearize:
+    def test_2d_row_access(self):
+        def body(k):
+            aa = k.array2("aa")
+            i = k.loop(16)
+            j = k.loop(16)
+            aa[i, j] = aa[i - 1, j + 2] * 2.0
+
+        kern = build("t", body)
+        (ld,) = list(kern.loads())
+        lin = linearize(kern.arrays["aa"], ld.subscript, 2)
+        assert lin.coeffs == (256, 1)
+        assert lin.offset == -256 + 2
+
+    def test_indirect_linearize_is_none(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            ip = k.array("ip", dtype=DType.I32)
+            i = k.loop(16)
+            a[i] = b[ip[i]]
+
+        kern = build("t", body)
+        ld = [l for l in kern.loads() if l.array == "b"][0]
+        assert linearize(kern.arrays["b"], ld.subscript, 1) is None
+
+
+class TestCollectAccesses:
+    def test_positions_loads_before_store(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(16)
+            a[i] = b[i] + 1.0
+
+        accs = collect_accesses(build("t", body))
+        load = next(a for a in accs if a.array == "b")
+        store = next(a for a in accs if a.is_store)
+        assert load.pos < store.pos
+
+    def test_column_access_is_strided(self):
+        def body(k):
+            aa = k.array2("aa")
+            i = k.loop(16)
+            j = k.loop(16)
+            aa[j, i] = 1.0  # inner loop j walks rows -> stride = row size
+
+        accs = collect_accesses(build("t", body))
+        store = next(a for a in accs if a.is_store)
+        assert store.pattern is AccessPattern.STRIDED
+        assert store.stride == 256
+
+    def test_guard_depth_recorded(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(16)
+            with k.if_(b[i] > 0.0):
+                a[i] = 1.0
+
+        accs = collect_accesses(build("t", body))
+        store = next(a for a in accs if a.is_store)
+        cond_load = next(a for a in accs if a.array == "b")
+        assert store.guard_depth == 1
+        assert cond_load.guard_depth == 0
+
+    def test_indirect_index_array_counted_as_load(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            ip = k.array("ip", dtype=DType.I32)
+            i = k.loop(16)
+            a[i] = b[ip[i]]
+
+        accs = collect_accesses(build("t", body))
+        arrays = {a.array for a in accs}
+        assert "ip" in arrays
+        ip_access = next(a for a in accs if a.array == "ip")
+        assert ip_access.pattern is AccessPattern.CONTIGUOUS
+
+    def test_invariant_load(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(16)
+            a[i] = b[3]
+
+        accs = collect_accesses(build("t", body))
+        ld = next(a for a in accs if a.array == "b")
+        assert ld.pattern is AccessPattern.INVARIANT
+
+    def test_scatter_store(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            ip = k.array("ip", dtype=DType.I32)
+            i = k.loop(16)
+            a[ip[i]] = b[i]
+
+        accs = collect_accesses(build("t", body))
+        store = next(a for a in accs if a.is_store)
+        assert store.pattern is AccessPattern.INDIRECT
+        assert store.stride is None

@@ -1,0 +1,239 @@
+"""Dependence analysis tests: kinds, distances, directions, safety."""
+
+import math
+
+import pytest
+
+from repro.analysis.dependence import DepKind, DepStatus, analyze_dependences
+from repro.ir import DType
+
+from tests.helpers import build
+
+
+def single_dep(kern):
+    info = analyze_dependences(kern)
+    assert len(info.dependences) == 1, info.dependences
+    return info.dependences[0]
+
+
+class TestNoDependence:
+    def test_distinct_arrays(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = b[i] + 1.0
+
+        assert analyze_dependences(build("t", body)).dependences == []
+
+    def test_odd_even_interleave(self):
+        # a[2i+1] = a[2i]: offsets differ by 1, coeff 2 -> never alias.
+        def body(k):
+            a = k.array("a")
+            i = k.loop(64)
+            a[2 * i + 1] = a[2 * i] * 2.0
+
+        assert analyze_dependences(build("t", body)).dependences == []
+
+    def test_distinct_invariant_locations(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = b[3] + b[7]
+
+        assert analyze_dependences(build("t", body)).dependences == []
+
+
+class TestCarriedFlow:
+    def test_backward_recurrence(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = a[i - 1] + b[i]
+
+        dep = single_dep(build("t", body))
+        assert dep.kind is DepKind.FLOW
+        assert dep.distance == 1
+        assert not dep.forward
+        assert not dep.safe_for_vf(4)
+        assert dep.safe_for_vf(1)
+
+    def test_distance_bounds_vf(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = a[i - 5] + b[i]
+
+        dep = single_dep(build("t", body))
+        assert dep.distance == 5
+        assert dep.safe_for_vf(4)
+        assert dep.safe_for_vf(5)
+        assert not dep.safe_for_vf(8)
+
+    def test_forward_flow_is_safe(self):
+        # store a[i] in stmt 0, read a[i-1] in stmt 1: the store
+        # completes for all lanes before the load executes.
+        def body(k):
+            a, b, c = k.arrays("a", "b", "c")
+            i = k.loop(64)
+            a[i] = b[i] + 0.0
+            c[i] = a[i - 1] + 1.0
+
+        dep = single_dep(build("t", body))
+        assert dep.kind is DepKind.FLOW
+        assert dep.forward
+        assert dep.safe_for_vf(8)
+
+
+class TestAnti:
+    def test_same_statement_lookahead_safe(self):
+        def body(k):
+            a = k.array("a")
+            i = k.loop(64)
+            a[i] = a[i + 1] + 1.0
+
+        dep = single_dep(build("t", body))
+        assert dep.kind is DepKind.ANTI
+        assert dep.distance == 1
+        assert dep.forward  # loads execute before the statement's store
+        assert dep.safe_for_vf(8)
+
+    def test_backward_anti_unsafe(self):
+        # store a[i] first, then another statement reads a[i+1]: lanes
+        # 1..VF-1 of the read see freshly stored values in vector code.
+        def body(k):
+            a, b, c = k.arrays("a", "b", "c")
+            i = k.loop(64)
+            a[i] = c[i] * 2.0
+            b[i] = a[i + 1] + 1.0
+
+        dep = single_dep(build("t", body))
+        assert dep.kind is DepKind.ANTI
+        assert not dep.forward
+        assert not dep.safe_for_vf(4)
+
+
+class TestOutput:
+    def test_forward_output_safe(self):
+        # a[i+1] then a[i]: later-in-time write is later in program
+        # order, so vector execution keeps the final values right.
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i + 1] = b[i] + 1.0
+            a[i] = b[i] * 2.0
+
+        dep = single_dep(build("t", body))
+        assert dep.kind is DepKind.OUTPUT
+        assert dep.forward
+        assert dep.safe_for_vf(8)
+
+    def test_backward_output_unsafe(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = b[i] + 1.0
+            a[i + 1] = b[i] * 2.0
+
+        dep = single_dep(build("t", body))
+        assert dep.kind is DepKind.OUTPUT
+        assert not dep.forward
+        assert not dep.safe_for_vf(2)
+
+
+class TestUnknown:
+    def test_coefficient_mismatch(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = a[2 * i] + b[i]
+
+        dep = single_dep(build("t", body))
+        assert dep.status is DepStatus.UNKNOWN
+        assert not dep.safe_for_vf(2)
+
+    def test_invariant_conflict(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = a[7] + b[i]
+
+        dep = single_dep(build("t", body))
+        assert dep.status is DepStatus.UNKNOWN
+
+    def test_indirect_store_with_read(self):
+        def body(k):
+            a = k.array("a")
+            ip = k.array("ip", dtype=DType.I32)
+            i = k.loop(64)
+            a[ip[i]] = a[i] + 1.0
+
+        info = analyze_dependences(build("t", body))
+        assert any(d.status is DepStatus.UNKNOWN for d in info.dependences)
+
+    def test_pure_scatter_no_conflict(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            ip = k.array("ip", dtype=DType.I32)
+            i = k.loop(64)
+            a[ip[i]] = b[i] + 1.0
+
+        assert analyze_dependences(build("t", body)).dependences == []
+
+
+class TestTwoDimensional:
+    def test_outer_carried_is_inner_safe(self):
+        def body(k):
+            aa, bb = k.array2("aa"), k.array2("bb")
+            i = k.loop(15)
+            j = k.loop(16)
+            aa[i + 1, j] = aa[i, j] + bb[i, j]
+
+        info = analyze_dependences(build("t", body))
+        # The row-to-row dependence shows up with a huge inner distance.
+        assert info.max_safe_vf() >= 8
+
+    def test_inner_carried_unsafe(self):
+        def body(k):
+            aa, bb = k.array2("aa"), k.array2("bb")
+            i = k.loop(16)
+            j = k.loop(15)
+            aa[i, j + 1] = aa[i, j] + bb[i, j]
+
+        info = analyze_dependences(build("t", body))
+        assert info.max_safe_vf() == 1
+
+    def test_transposed_access_unknown(self):
+        def body(k):
+            aa, bb = k.array2("aa"), k.array2("bb")
+            i = k.loop(16)
+            j = k.loop(16)
+            aa[i, j] = aa[j, i] + bb[i, j]
+
+        info = analyze_dependences(build("t", body))
+        assert any(d.status is DepStatus.UNKNOWN for d in info.dependences)
+
+
+class TestMaxSafeVF:
+    def test_unconstrained(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = b[i] + 1.0
+
+        assert analyze_dependences(build("t", body)).max_safe_vf() == math.inf
+
+    def test_bounded_by_distance(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = a[i - 6] + b[i]
+
+        assert analyze_dependences(build("t", body)).max_safe_vf() == 6
+
+    def test_serial(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = a[i - 1] + b[i]
+
+        assert analyze_dependences(build("t", body)).max_safe_vf() == 1

@@ -1,0 +1,231 @@
+"""Scalar classification tests: params, privates, reductions, recurrences."""
+
+from repro.analysis.reduction import (
+    REDUCTION_IDENTITY,
+    ScalarClass,
+    classify_scalars,
+    recurrences_of,
+    reductions_of,
+)
+from repro.ir import BinOpKind, DType, select
+
+from tests.helpers import build
+
+
+def classify(body_fn):
+    return classify_scalars(build("t", body_fn))
+
+
+def test_param_never_written():
+    def body(k):
+        a = k.array("a")
+        s = k.param("s", value=2.0)
+        i = k.loop(16)
+        a[i] = a[i] * s
+
+    info = classify(body)
+    assert info["s"].klass is ScalarClass.PARAM
+
+
+def test_private_defined_before_use():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        t = k.scalar("t")
+        i = k.loop(16)
+        t.set(a[i] + b[i])
+        a[i] = t * t
+
+    assert classify(body)["t"].klass is ScalarClass.PRIVATE
+
+
+def test_private_may_be_reassigned_later():
+    def body(k):
+        a, b, c = k.arrays("a", "b", "c")
+        t = k.scalar("t")
+        i = k.loop(16)
+        t.set(a[i] + b[i])
+        a[i] = t + c[i]
+        t.set(c[i] * 2.0)
+        c[i] = t.ref
+
+    assert classify(body)["t"].klass is ScalarClass.PRIVATE
+
+
+def test_sum_reduction():
+    def body(k):
+        a = k.array("a")
+        s = k.scalar("s")
+        i = k.loop(16)
+        s.set(s + a[i])
+
+    info = classify(body)["s"]
+    assert info.klass is ScalarClass.REDUCTION
+    assert info.op is BinOpKind.ADD
+    assert not info.guarded
+
+
+def test_product_reduction_reversed_operands():
+    def body(k):
+        a = k.array("a")
+        p = k.scalar("p", init=1.0)
+        i = k.loop(16)
+        p.set(a[i] * p)
+
+    info = classify(body)["p"]
+    assert info.klass is ScalarClass.REDUCTION
+    assert info.op is BinOpKind.MUL
+
+
+def test_guarded_sum_reduction():
+    def body(k):
+        a = k.array("a")
+        s = k.scalar("s")
+        i = k.loop(16)
+        with k.if_(a[i] > 0.0):
+            s.set(s + a[i])
+
+    info = classify(body)["s"]
+    assert info.klass is ScalarClass.REDUCTION
+    assert info.guarded
+
+
+def test_conditional_max_reduction():
+    def body(k):
+        a = k.array("a")
+        x = k.scalar("x", init=-1e30)
+        i = k.loop(16)
+        with k.if_(a[i] > x):
+            x.set(a[i])
+
+    info = classify(body)["x"]
+    assert info.klass is ScalarClass.REDUCTION
+    assert info.op is BinOpKind.MAX
+    assert info.guarded
+
+
+def test_conditional_min_reduction_mirrored_compare():
+    def body(k):
+        a = k.array("a")
+        x = k.scalar("x", init=1e30)
+        i = k.loop(16)
+        with k.if_(x > a[i]):
+            x.set(a[i])
+
+    info = classify(body)["x"]
+    assert info.klass is ScalarClass.REDUCTION
+    assert info.op is BinOpKind.MIN
+
+
+def test_select_max_reduction():
+    def body(k):
+        a = k.array("a")
+        x = k.scalar("x", init=-1e30)
+        i = k.loop(16)
+        x.set(select(a[i] > x, a[i], x.ref))
+
+    info = classify(body)["x"]
+    assert info.klass is ScalarClass.REDUCTION
+    assert info.op is BinOpKind.MAX
+
+
+def test_select_max_with_swapped_arms():
+    def body(k):
+        a = k.array("a")
+        x = k.scalar("x", init=-1e30)
+        i = k.loop(16)
+        # candidate on the false arm: takes a[i] when NOT(a[i] <= x).
+        x.set(select(a[i] <= x, x.ref, a[i]))
+
+    info = classify(body)["x"]
+    assert info.klass is ScalarClass.REDUCTION
+    assert info.op is BinOpKind.MAX
+
+
+def test_chained_multi_update_reduction():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        s = k.scalar("s")
+        i = k.loop(16)
+        s.set(s + a[i])
+        s.set(s + b[i])
+
+    info = classify(body)["s"]
+    assert info.klass is ScalarClass.REDUCTION
+    assert info.op is BinOpKind.ADD
+
+
+def test_mixed_op_updates_are_recurrence():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        s = k.scalar("s")
+        i = k.loop(16)
+        s.set(s + a[i])
+        s.set(s * b[i])
+
+    assert classify(body)["s"].klass is ScalarClass.RECURRENCE
+
+
+def test_read_elsewhere_is_recurrence():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        s = k.scalar("s")
+        i = k.loop(16)
+        s.set(s + a[i])
+        b[i] = s.ref  # prefix sum
+
+    assert classify(body)["s"].klass is ScalarClass.RECURRENCE
+
+
+def test_read_before_write_is_recurrence():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        s = k.scalar("s")
+        i = k.loop(16)
+        a[i] = s * 2.0
+        s.set(b[i])
+
+    assert classify(body)["s"].klass is ScalarClass.RECURRENCE
+
+
+def test_guarded_first_write_is_not_private():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        s = k.scalar("s")
+        i = k.loop(16)
+        with k.if_(a[i] > 0.0):
+            s.set(a[i])
+        b[i] = s * 2.0
+
+    assert classify(body)["s"].klass is ScalarClass.RECURRENCE
+
+
+def test_nonassociative_update_is_recurrence():
+    def body(k):
+        a = k.array("a")
+        s = k.scalar("s")
+        i = k.loop(16)
+        s.set(s * 0.5 + a[i])
+
+    assert classify(body)["s"].klass is ScalarClass.RECURRENCE
+
+
+def test_helpers():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        s = k.scalar("s")
+        t = k.scalar("t")
+        i = k.loop(16)
+        s.set(s + a[i])
+        a[i] = t * 1.0
+        t.set(b[i])
+
+    kern = build("t", body)
+    assert [r.name for r in reductions_of(kern)] == ["s"]
+    assert [r.name for r in recurrences_of(kern)] == ["t"]
+
+
+def test_identity_table_complete():
+    for op in (BinOpKind.ADD, BinOpKind.MUL, BinOpKind.MIN, BinOpKind.MAX):
+        assert op in REDUCTION_IDENTITY
+    assert REDUCTION_IDENTITY[BinOpKind.ADD] == 0.0
+    assert REDUCTION_IDENTITY[BinOpKind.MUL] == 1.0

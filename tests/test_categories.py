@@ -1,0 +1,62 @@
+"""Per-category report tests."""
+
+import pytest
+
+from repro.costmodel import LLVMLikeCostModel, RatedSpeedupModel
+from repro.experiments import (
+    ARM_LLV,
+    build_dataset,
+    category_report,
+    worst_categories,
+)
+from repro.fitting import NonNegativeLeastSquares
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return build_dataset(ARM_LLV)
+
+
+def test_rows_cover_big_categories(ds):
+    rows = category_report(ds.samples, LLVMLikeCostModel())
+    cats = {r["category"] for r in rows}
+    assert {"control-flow", "control-loops", "reductions"} <= cats
+
+
+def test_min_size_respected(ds):
+    rows = category_report(ds.samples, LLVMLikeCostModel(), min_size=10)
+    assert all(r["n"] >= 10 for r in rows)
+
+
+def test_pearson_only_for_large_groups(ds):
+    rows = category_report(ds.samples, LLVMLikeCostModel(), min_size=3)
+    for r in rows:
+        if r["n"] < 5:
+            assert "pearson" not in r
+
+
+def test_counts_sum_to_at_most_suite(ds):
+    rows = category_report(ds.samples, LLVMLikeCostModel(), min_size=1)
+    assert sum(r["n"] for r in rows) == len(ds.samples)
+
+
+def test_fitted_model_beats_baseline_in_most_categories(ds):
+    base_rows = {
+        r["category"]: r
+        for r in category_report(ds.samples, LLVMLikeCostModel())
+    }
+    fitted = RatedSpeedupModel(NonNegativeLeastSquares()).fit(ds.samples)
+    fit_rows = {r["category"]: r for r in category_report(ds.samples, fitted)}
+    better = sum(
+        1
+        for cat in base_rows
+        if fit_rows[cat]["rmse"] <= base_rows[cat]["rmse"]
+    )
+    assert better >= len(base_rows) * 0.6
+
+
+def test_worst_categories(ds):
+    worst = worst_categories(ds.samples, LLVMLikeCostModel(), k=2)
+    assert len(worst) == 2
+    rows = {r["category"]: r for r in category_report(ds.samples, LLVMLikeCostModel())}
+    assert rows[worst[0]]["rmse"] >= rows[worst[1]]["rmse"]

@@ -1,0 +1,37 @@
+"""CLI tests for ``python -m repro.experiments``."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for eid in ("E1", "E11"):
+        assert eid in out
+
+
+def test_run_single(capsys):
+    assert main(["E2", "--no-scatter"]) == 0
+    out = capsys.readouterr().out
+    assert "E2" in out
+    assert "measured speedup" in out
+    assert "completed in" in out
+
+
+def test_run_multiple(capsys):
+    assert main(["E1", "E9", "--no-scatter"]) == 0
+    out = capsys.readouterr().out
+    assert "E1" in out and "E9" in out
+
+
+def test_scatter_included_by_default(capsys):
+    assert main(["E1"]) == 0
+    out = capsys.readouterr().out
+    assert "predicted ^" in out  # the text scatter's axis header
+
+
+def test_unknown_id_raises():
+    with pytest.raises(KeyError):
+        main(["E42"])

@@ -1,0 +1,205 @@
+"""Scalar code generation tests: instruction mixes, CSE, FMA, guards."""
+
+import pytest
+
+from repro.codegen import lower_scalar
+from repro.ir import DType
+from repro.targets import ARMV8_NEON
+from repro.targets.classes import IClass
+
+from tests.helpers import build
+
+
+def counts_of(body_fn, guard_probs=None, fuse_fma=True):
+    kern = build("t", body_fn)
+    stream = lower_scalar(kern, ARMV8_NEON, guard_probs=guard_probs, fuse_fma=fuse_fma)
+    return stream, stream.counts()
+
+
+def test_simple_mix():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(100)
+        a[i] = b[i] + 1.0
+
+    stream, counts = counts_of(body)
+    assert counts == {IClass.LOAD: 1, IClass.ADD: 1, IClass.STORE: 1}
+    assert stream.iters == 100
+    assert stream.elems_per_iter == 1
+
+
+def test_fma_contraction():
+    def body(k):
+        a, b, c, d = k.arrays("a", "b", "c", "d")
+        i = k.loop(100)
+        a[i] = b[i] + c[i] * d[i]
+
+    _, counts = counts_of(body)
+    assert counts.get(IClass.FMA) == 1
+    assert IClass.MUL not in counts
+    assert IClass.ADD not in counts
+
+
+def test_fma_disabled():
+    def body(k):
+        a, b, c, d = k.arrays("a", "b", "c", "d")
+        i = k.loop(100)
+        a[i] = b[i] + c[i] * d[i]
+
+    _, counts = counts_of(body, fuse_fma=False)
+    assert IClass.FMA not in counts
+    assert counts[IClass.MUL] == 1 and counts[IClass.ADD] == 1
+
+
+def test_fms_contraction():
+    def body(k):
+        a, b, c, d = k.arrays("a", "b", "c", "d")
+        i = k.loop(100)
+        a[i] = b[i] * c[i] - d[i]
+
+    _, counts = counts_of(body)
+    assert counts.get(IClass.FMA) == 1
+
+
+def test_cse_repeated_load():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(100)
+        a[i] = b[i] * b[i] + b[i]
+
+    _, counts = counts_of(body)
+    assert counts[IClass.LOAD] == 1  # b[i] loaded once
+
+
+def test_store_invalidates_cse():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(100)
+        a[i] = b[i] + 1.0
+        b[i] = a[i] * 2.0  # a[i] must be reloaded? no: forwarded
+        a[i] = a[i] + b[i]  # a[i] invalidated by the store above? no...
+
+    stream, counts = counts_of(body)
+    # The precise count depends on forwarding; what must hold is that
+    # stores appear 3x and loads at least 1 (b[i]).
+    assert counts[IClass.STORE] == 3
+    assert counts[IClass.LOAD] >= 1
+
+
+def test_guard_weights_applied():
+    def body(k):
+        a, b, c = k.arrays("a", "b", "c")
+        i = k.loop(100)
+        with k.if_(b[i] > 0.0):
+            a[i] = c[i] * 2.0
+
+    stream, counts = counts_of(body, guard_probs={0: 0.25})
+    # guarded store weight = 0.25
+    assert counts[IClass.STORE] == pytest.approx(0.25)
+    assert counts[IClass.CMP] == 1  # the comparison always runs
+
+
+def test_guard_default_prob():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(100)
+        with k.if_(b[i] > 0.0):
+            a[i] = 1.0
+
+    _, counts = counts_of(body)
+    assert counts[IClass.STORE] == pytest.approx(0.5)
+
+
+def test_else_weight_complements():
+    def body(k):
+        a, b, c = k.arrays("a", "b", "c")
+        i = k.loop(100)
+        with k.if_(b[i] > 0.0):
+            a[i] = 1.0
+        with k.else_():
+            c[i] = 1.0
+
+    _, counts = counts_of(body, guard_probs={0: 0.7})
+    assert counts[IClass.STORE] == pytest.approx(0.7 + 0.3)
+
+
+def test_reduction_has_carried_self_edge():
+    def body(k):
+        a = k.array("a")
+        s = k.scalar("s")
+        i = k.loop(100)
+        s.set(s + a[i])
+
+    stream, _ = counts_of(body)
+    adds = [ins for ins in stream.body if ins.iclass is IClass.ADD]
+    assert len(adds) == 1
+    assert adds[0].carried == ((adds[0].id, 1),)
+
+
+def test_memory_recurrence_carried_edge():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(100)
+        a[i] = a[i - 1] + b[i]
+
+    stream, _ = counts_of(body)
+    loads = [ins for ins in stream.body if ins.iclass is IClass.LOAD]
+    carried = [ins for ins in loads if ins.carried]
+    assert len(carried) == 1
+    assert carried[0].carried[0][1] == 1  # distance 1
+
+
+def test_licm_hoists_inner_invariant_load():
+    def body(k):
+        a = k.array("a")
+        bb = k.array2("bb")
+        c = k.array("c", extents=(256,))
+        i = k.loop(256)
+        j = k.loop(256)
+        # c[i] is invariant in the inner j loop and c is read-only.
+        bb[i, j] = bb[i, j] + c[i]
+
+    stream, counts = counts_of(body)
+    loads = [ins for ins in stream.body if ins.iclass is IClass.LOAD]
+    hoisted = [ins for ins in loads if ins.weight < 1.0]
+    assert len(hoisted) == 1
+    assert hoisted[0].weight == pytest.approx(1 / 256)
+
+
+def test_indirect_load_emits_index_load():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        ip = k.array("ip", dtype=DType.I32)
+        i = k.loop(100)
+        a[i] = b[ip[i]]
+
+    stream, counts = counts_of(body)
+    assert counts[IClass.LOAD] == 2  # index load + data load
+    data_load = [i_ for i_ in stream.body if "b[ip" in i_.note]
+    assert data_load and data_load[0].srcs  # depends on the index load
+
+
+def test_int_dtype_flows_through():
+    def body(k):
+        ix = k.array("ix", dtype=DType.I32)
+        iy = k.array("iy", dtype=DType.I32)
+        i = k.loop(100)
+        ix[i] = (iy[i] & 3) + 1
+
+    stream, counts = counts_of(body)
+    logic = [ins for ins in stream.body if ins.iclass is IClass.LOGIC]
+    assert logic and logic[0].dtype is DType.I32
+
+
+def test_traffic_annotations():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(100)
+        a[2 * i] = b[i] + 1.0
+
+    stream, _ = counts_of(body)
+    store = next(ins for ins in stream.body if ins.iclass is IClass.STORE)
+    assert store.mem_stride == 2
+    load = next(ins for ins in stream.body if ins.iclass is IClass.LOAD)
+    assert load.mem_stride == 1
+    assert stream.bytes_per_iter() == pytest.approx(4 + 8)  # b: 4B, a: stride-2 window

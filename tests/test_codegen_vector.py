@@ -1,0 +1,230 @@
+"""Vector code generation tests: target-specific lowering decisions."""
+
+import pytest
+
+from repro.codegen import lower_vector
+from repro.ir import DType
+from repro.targets import ARMV8_NEON, GENERIC_IR, X86_AVX2
+from repro.targets.classes import IClass
+from repro.vectorize import vectorize_loop
+
+from tests.helpers import build
+
+
+def vector_counts(body_fn, target, vf=None):
+    kern = build("t", body_fn)
+    plan = vectorize_loop(kern, target, vf)
+    assert not hasattr(plan, "reason"), f"unexpected failure: {plan}"
+    stream = lower_vector(plan, target)
+    return stream, stream.counts()
+
+
+def test_contiguous_packed_ops():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(256)
+        a[i] = b[i] + 1.0
+
+    stream, counts = vector_counts(body, ARMV8_NEON)
+    assert counts == {IClass.LOAD: 1, IClass.ADD: 1, IClass.STORE: 1}
+    assert all(ins.lanes == 4 for ins in stream.body)
+    assert stream.elems_per_iter == 4
+    assert stream.iters == 64
+
+
+def test_reverse_access_adds_shuffle():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        n = 256
+        i = k.loop(n)
+        a[i] = b[(n - 1) - i] + 1.0
+
+    _, counts = vector_counts(body, ARMV8_NEON)
+    assert counts[IClass.SHUFFLE] >= 1
+
+
+def test_small_stride_interleaved():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(128)
+        a[i] = b[2 * i] + 1.0
+
+    _, counts = vector_counts(body, ARMV8_NEON)
+    # stride-2 load: 2 packed loads + 2 shuffles (ld2 idiom)
+    assert counts[IClass.LOAD] == 2
+    assert counts[IClass.SHUFFLE] == 2
+
+
+def test_wide_stride_neon_scalarizes():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(128)
+        a[i] = b[16 * i] + 1.0
+
+    _, counts = vector_counts(body, ARMV8_NEON)
+    assert counts[IClass.INSERT] == 4  # one insert per lane
+    assert IClass.GATHER not in counts
+
+
+def test_wide_stride_avx2_gathers():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(128)
+        a[i] = b[16 * i] + 1.0
+
+    _, counts = vector_counts(body, X86_AVX2)
+    assert counts[IClass.GATHER] == 1
+    assert IClass.INSERT not in counts
+
+
+def test_indirect_load_neon_vs_avx2():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        ip = k.array("ip", dtype=DType.I32)
+        i = k.loop(256)
+        a[i] = b[ip[i]] + 1.0
+
+    _, neon = vector_counts(body, ARMV8_NEON)
+    assert neon[IClass.INSERT] == 4
+    assert neon[IClass.EXTRACT] == 4  # index extraction
+    _, avx = vector_counts(body, X86_AVX2)
+    assert avx[IClass.GATHER] == 1
+
+
+def test_masked_store_neon_blend_store():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(256)
+        with k.if_(b[i] > 0.0):
+            a[i] = b[i] * 2.0
+
+    _, counts = vector_counts(body, ARMV8_NEON)
+    assert counts[IClass.BLEND] >= 1
+    assert counts[IClass.LOAD] == 2  # data load + masked-store reload
+    assert IClass.MASKSTORE not in counts
+
+
+def test_masked_store_avx2_maskstore():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(256)
+        with k.if_(b[i] > 0.0):
+            a[i] = b[i] * 2.0
+
+    _, counts = vector_counts(body, X86_AVX2)
+    assert counts[IClass.MASKSTORE] == 1
+    assert IClass.BLEND not in counts
+
+
+def test_scatter_on_generic_ir():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        ip = k.array("ip", dtype=DType.I32)
+        i = k.loop(256)
+        a[ip[i]] = b[i]
+
+    _, counts = vector_counts(body, GENERIC_IR)
+    assert counts[IClass.SCATTER] == 1
+    _, neon = vector_counts(body, ARMV8_NEON)
+    assert IClass.SCATTER not in neon
+    assert neon[IClass.EXTRACT] >= 4
+
+
+def test_reduction_prologue_epilogue():
+    def body(k):
+        a = k.array("a")
+        s = k.scalar("s")
+        i = k.loop(256)
+        s.set(s + a[i])
+
+    kern = build("t", body)
+    plan = vectorize_loop(kern, ARMV8_NEON)
+    stream = lower_vector(plan, ARMV8_NEON)
+    assert any(ins.iclass is IClass.BROADCAST for ins in stream.prologue)
+    assert any(ins.iclass is IClass.REDUCE for ins in stream.epilogue)
+    adds = [ins for ins in stream.body if ins.iclass is IClass.ADD]
+    assert adds[0].carried  # vector accumulator recurrence
+
+
+def test_invariant_load_hoisted_to_broadcast():
+    def body(k):
+        a, b, c = k.arrays("a", "b", "c")
+        i = k.loop(256)
+        a[i] = b[i] + c[7]
+
+    kern = build("t", body)
+    plan = vectorize_loop(kern, ARMV8_NEON)
+    stream = lower_vector(plan, ARMV8_NEON)
+    assert any(ins.iclass is IClass.BROADCAST for ins in stream.prologue)
+
+
+def test_exp_scalarized_on_hw_single_on_ir():
+    from repro.ir import fexp
+
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(256)
+        a[i] = fexp(b[i])
+
+    _, hw = vector_counts(body, ARMV8_NEON)
+    assert hw[IClass.EXP] == 4
+    assert hw[IClass.EXTRACT] == 4 and hw[IClass.INSERT] == 4
+    _, ir = vector_counts(body, GENERIC_IR)
+    assert ir[IClass.EXP] == 1
+    assert IClass.EXTRACT not in ir
+
+
+def test_remainder_recorded():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(258)
+        a[i] = b[i] + 1.0
+
+    kern = build("t", body)
+    plan = vectorize_loop(kern, ARMV8_NEON)
+    stream = lower_vector(plan, ARMV8_NEON)
+    assert stream.iters == 64
+    assert stream.remainder == 2
+
+
+def test_f64_halves_vf():
+    def body(k):
+        a = k.array("a", dtype=DType.F64)
+        b = k.array("b", dtype=DType.F64)
+        i = k.loop(256)
+        a[i] = b[i] + 1.0
+
+    kern = build("t", body)
+    plan = vectorize_loop(kern, ARMV8_NEON)
+    assert plan.vf == 2
+    plan = vectorize_loop(kern, X86_AVX2)
+    assert plan.vf == 4
+
+
+def test_nested_mask_conjunction():
+    def body(k):
+        a, b, c = k.arrays("a", "b", "c")
+        i = k.loop(256)
+        with k.if_(b[i] > 0.0):
+            with k.if_(c[i] > 0.0):
+                a[i] = 1.0
+
+    _, counts = vector_counts(body, X86_AVX2)
+    assert counts[IClass.CMP] == 2
+    assert counts[IClass.LOGIC] >= 1  # mask AND
+
+
+def test_guarded_sum_blends_with_accumulator():
+    def body(k):
+        a = k.array("a")
+        s = k.scalar("s")
+        i = k.loop(256)
+        with k.if_(a[i] > 0.0):
+            s.set(s + a[i])
+
+    kern = build("t", body)
+    plan = vectorize_loop(kern, ARMV8_NEON)
+    stream = lower_vector(plan, ARMV8_NEON)
+    blends = [ins for ins in stream.body if ins.iclass is IClass.BLEND]
+    assert blends, "if-converted reduction needs a blend"
+    assert any(ins.carried for ins in blends)

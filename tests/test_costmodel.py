@@ -1,0 +1,230 @@
+"""Cost-model tests: featurization, baseline, fitted model family."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.minstr import StreamBuilder
+from repro.costmodel import (
+    EPS,
+    FEATURE_NAMES,
+    LLVMLikeCostModel,
+    LinearCostModel,
+    N_FEATURES,
+    RatedSpeedupModel,
+    Sample,
+    SpeedupModel,
+    class_count,
+    describe,
+    feature_vector,
+    measured_speedups,
+    predict_all,
+    rated,
+    sample_from_measurement,
+)
+from repro.costmodel.rated import rated_features, rated_with_vf
+from repro.fitting import LeastSquares, NonNegativeLeastSquares
+from repro.ir.types import DType
+from repro.sim import measure_kernel
+from repro.targets import ARMV8_NEON
+from repro.targets.classes import FEATURE_ORDER, IClass
+
+from tests.helpers import build
+
+
+def feat(**kwargs) -> np.ndarray:
+    v = np.zeros(N_FEATURES)
+    for name, value in kwargs.items():
+        v[FEATURE_ORDER.index(IClass[name.upper()])] = value
+    return v
+
+
+def mk_sample(
+    name="k",
+    vf=4,
+    scalar=None,
+    vector=None,
+    speedup=2.0,
+    scpi=1.0,
+    vcpi=2.0,
+) -> Sample:
+    return Sample(
+        name=name,
+        category="test",
+        target="armv8-neon",
+        vf=vf,
+        scalar_features=scalar if scalar is not None else feat(load=1, add=1, store=1),
+        vector_features=vector if vector is not None else feat(load=1, add=1, store=1),
+        measured_speedup=speedup,
+        measured_scalar_cpi=scpi,
+        measured_vector_cpi=vcpi,
+    )
+
+
+class TestFeaturize:
+    def test_feature_vector_from_stream(self):
+        b = StreamBuilder("t")
+        b.emit(IClass.LOAD, DType.F32, lanes=4)
+        b.emit(IClass.FMA, DType.F32, lanes=4)
+        b.emit(IClass.STORE, DType.F32, lanes=4)
+        b.stream.iters = 10
+        v = feature_vector(b.stream)
+        assert class_count(v, IClass.LOAD) == 1
+        assert class_count(v, IClass.FMA) == 1
+        assert v.sum() == 3
+
+    def test_prologue_amortized(self):
+        b = StreamBuilder("t")
+        b.in_prologue()
+        b.emit(IClass.BROADCAST, DType.F32, lanes=4)
+        b.in_body()
+        b.emit(IClass.ADD, DType.F32, lanes=4)
+        b.stream.iters = 10
+        v = feature_vector(b.stream)
+        assert class_count(v, IClass.BROADCAST) == pytest.approx(0.1)
+        v2 = feature_vector(b.stream, include_overhead=False)
+        assert class_count(v2, IClass.BROADCAST) == 0
+
+    def test_weights_respected(self):
+        b = StreamBuilder("t")
+        b.emit(IClass.STORE, DType.F32, weight=0.25)
+        b.stream.iters = 1
+        assert class_count(feature_vector(b.stream), IClass.STORE) == 0.25
+
+    def test_rated_sums_to_one(self):
+        v = feat(load=2, add=3, store=1)
+        r = rated(v)
+        assert r.sum() == pytest.approx(1.0)
+        assert class_count(r, IClass.ADD) == pytest.approx(0.5)
+
+    def test_rated_zero_vector_safe(self):
+        r = rated(np.zeros(N_FEATURES))
+        assert (r == 0).all()
+
+    def test_rated_scale_invariant(self):
+        v = feat(load=1, mul=2)
+        np.testing.assert_allclose(rated(v), rated(7 * v))
+
+    def test_describe_lists_nonzero(self):
+        text = describe(feat(load=2, div=1))
+        assert "load=2" in text and "div=1" in text and "store" not in text
+
+    def test_feature_names_match_order(self):
+        assert list(FEATURE_NAMES) == [c.value for c in FEATURE_ORDER]
+
+
+class TestBaseline:
+    def test_speedup_formula(self):
+        model = LLVMLikeCostModel()
+        s = mk_sample(
+            scalar=feat(load=1, add=1, store=1),
+            vector=feat(load=1, add=1, store=1),
+            vf=4,
+        )
+        # Same static cost both sides -> predicted speedup = VF.
+        assert model.predict_speedup(s) == pytest.approx(4.0)
+
+    def test_expensive_vector_ops_lower_prediction(self):
+        model = LLVMLikeCostModel()
+        cheap = mk_sample(vector=feat(load=1, add=1, store=1))
+        pricey = mk_sample(vector=feat(gather=2, add=1, store=1))
+        assert model.predict_speedup(pricey) < model.predict_speedup(cheap)
+
+    def test_fit_is_noop(self):
+        model = LLVMLikeCostModel()
+        assert model.fit([]) is model
+
+    def test_never_divides_by_zero(self):
+        model = LLVMLikeCostModel()
+        s = mk_sample(vector=np.zeros(N_FEATURES))
+        assert np.isfinite(model.predict_speedup(s))
+
+
+class TestLinearCostModel:
+    def test_implied_cost_construction(self):
+        model = LinearCostModel(LeastSquares())
+        s = mk_sample(speedup=2.0, vf=4)
+        # static scalar cost = 3 (load+add+store), implied = 4*3/2 = 6.
+        assert model.implied_vector_cost(s) == pytest.approx(6.0)
+
+    def test_fit_recovers_consistent_costs(self):
+        # Build samples whose implied costs ARE linear in features.
+        w_true = {IClass.LOAD: 2.0, IClass.ADD: 1.0, IClass.STORE: 1.5}
+        samples = []
+        rng = np.random.default_rng(0)
+        for i in range(30):
+            counts = {k.value: float(rng.integers(1, 5)) for k in w_true}
+            v = feat(**counts)
+            cost = sum(w_true[k] * counts[k.value] for k in w_true)
+            static_scalar = v.sum()  # all table costs are 1 here
+            speedup = 4 * static_scalar / cost
+            samples.append(mk_sample(name=f"s{i}", scalar=v, vector=v, speedup=speedup))
+        model = LinearCostModel(NonNegativeLeastSquares()).fit(samples)
+        for s in samples:
+            assert model.predict_speedup(s) == pytest.approx(
+                s.measured_speedup, rel=1e-6
+            )
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearCostModel(LeastSquares()).predict_speedup(mk_sample())
+
+
+class TestSpeedupModels:
+    def _samples(self, n=40, seed=1):
+        rng = np.random.default_rng(seed)
+        out = []
+        for i in range(n):
+            v = feat(
+                load=float(rng.integers(1, 4)),
+                add=float(rng.integers(0, 4)),
+                mul=float(rng.integers(0, 3)),
+                store=1.0,
+            )
+            sc = feat(load=1, add=1, store=1)
+            speedup = float(np.clip(1.0 + 0.5 * class_count(v, IClass.ADD), 0.1, 4))
+            out.append(mk_sample(name=f"s{i}", scalar=sc, vector=v, speedup=speedup))
+        return out
+
+    def test_speedup_model_fits_linear_truth(self):
+        samples = self._samples()
+        m = SpeedupModel(LeastSquares()).fit(samples)
+        preds = predict_all(m, samples)
+        np.testing.assert_allclose(preds, measured_speedups(samples), atol=1e-6)
+
+    def test_clip_to_vf(self):
+        samples = self._samples()
+        m = SpeedupModel(LeastSquares()).fit(samples)
+        s = mk_sample(vector=feat(add=100), scalar=feat(load=1), vf=4)
+        assert EPS <= m.predict_speedup(s) <= 4.0
+
+    def test_rated_model_uses_fractions(self):
+        s1 = mk_sample(vector=feat(load=1, add=1))
+        s2 = mk_sample(vector=feat(load=10, add=10))
+        np.testing.assert_allclose(rated_features(s1), rated_features(s2))
+
+    def test_rated_with_vf_appends(self):
+        s = mk_sample(vf=8)
+        v = rated_with_vf(s)
+        assert len(v) == N_FEATURES + 1
+        assert v[-1] == 8.0
+
+    def test_model_names(self):
+        assert SpeedupModel(LeastSquares()).name == "speedup-L2"
+        assert RatedSpeedupModel(NonNegativeLeastSquares()).name == "rated-NNLS"
+
+
+class TestSampleFromMeasurement:
+    def test_roundtrip(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(256)
+            a[i] = b[i] + 1.0
+
+        kern = build("t", body)
+        m = measure_kernel(kern, ARMV8_NEON)
+        s = sample_from_measurement(m)
+        assert s.name == "t"
+        assert s.vf == 4
+        assert s.measured_speedup == pytest.approx(m.speedup)
+        assert class_count(s.vector_features, IClass.LOAD) == 1
+        assert s.lowered_features is not None

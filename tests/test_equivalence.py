@@ -1,0 +1,119 @@
+"""The system's central invariant: vectorized execution ≡ scalar execution.
+
+For every TSVC kernel that the vectorizers accept, running the
+vectorized plan on random data must produce the same arrays and
+live-out scalars as the scalar interpreter (up to float reassociation).
+This exercises legality, if-conversion, reductions, masked stores,
+gathers/scatters, remainder handling — end to end, on a shrunken suite
+so the functional runs stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.executor import initial_scalars, make_buffers, run_scalar, run_vector
+from repro.targets import ARMV8_NEON, X86_AVX2
+from repro.tsvc import kernel_names, get_entry
+from repro.vectorize import slp_vectorize, vectorize_loop
+from repro.vectorize.plan import VectorizationFailure
+
+from tests.helpers import SMALL, assert_buffers_close, copy_buffers
+
+ALL_NAMES = kernel_names()
+
+
+def _check_equivalence(kern, plan, seed: int):
+    bufs_scalar = make_buffers(kern, seed=seed)
+    bufs_vector = copy_buffers(bufs_scalar)
+    r_scalar = run_scalar(kern, bufs_scalar)
+    r_vector = run_vector(plan, bufs_vector)
+    assert_buffers_close(
+        bufs_scalar, bufs_vector, context=f"{kern.name}@vf{plan.vf}"
+    )
+    for name in kern.live_out_scalars():
+        s, v = float(r_scalar.scalars[name]), float(r_vector.scalars[name])
+        assert s == pytest.approx(v, rel=2e-3, abs=1e-4), (
+            f"{kern.name}: scalar {name} diverged ({s} vs {v})"
+        )
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_llv_equivalence_arm(name):
+    kern = get_entry(name).build(SMALL)
+    plan = vectorize_loop(kern, ARMV8_NEON)
+    if isinstance(plan, VectorizationFailure):
+        pytest.skip(f"not vectorizable: {plan.reason}")
+    _check_equivalence(kern, plan, seed=11)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_llv_equivalence_x86(name):
+    kern = get_entry(name).build(SMALL)
+    plan = vectorize_loop(kern, X86_AVX2)
+    if isinstance(plan, VectorizationFailure):
+        pytest.skip(f"not vectorizable: {plan.reason}")
+    _check_equivalence(kern, plan, seed=23)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_slp_equivalence_x86(name):
+    kern = get_entry(name).build(SMALL)
+    plan = slp_vectorize(kern, X86_AVX2)
+    if isinstance(plan, VectorizationFailure):
+        pytest.skip(f"not packable: {plan.reason}")
+    _check_equivalence(kern, plan, seed=37)
+
+
+@pytest.mark.parametrize("vf", [2, 4, 8])
+def test_equivalence_across_vfs(vf):
+    """A representative kernel must agree at every supported VF."""
+    kern = get_entry("s152").build(SMALL)
+    plan = vectorize_loop(kern, ARMV8_NEON, vf=vf)
+    assert not isinstance(plan, VectorizationFailure)
+    _check_equivalence(kern, plan, seed=5)
+
+
+def test_reduction_equivalence_is_reassociation_only():
+    """Lane-parallel sums differ from sequential sums only by rounding."""
+    kern = get_entry("vsumr").build(SMALL)
+    plan = vectorize_loop(kern, ARMV8_NEON)
+    bufs = make_buffers(kern, seed=3)
+    exact = float(np.sum(bufs["a"].astype(np.float64)))
+    r = run_vector(plan, copy_buffers(bufs))
+    assert float(r.scalars["sum"]) == pytest.approx(exact, rel=1e-3)
+
+
+def test_guarded_reduction_matches_numpy():
+    kern = get_entry("s3111").build(SMALL)
+    plan = vectorize_loop(kern, ARMV8_NEON)
+    bufs = make_buffers(kern, seed=3)
+    expected = float(bufs["a"][bufs["a"] > 0].astype(np.float64).sum())
+    r = run_vector(plan, copy_buffers(bufs))
+    assert float(r.scalars["sum"]) == pytest.approx(expected, rel=1e-3)
+
+
+def test_max_reduction_matches_numpy():
+    kern = get_entry("s314").build(SMALL)
+    plan = vectorize_loop(kern, ARMV8_NEON)
+    bufs = make_buffers(kern, seed=3)
+    expected = float(bufs["a"].max())
+    r = run_vector(plan, copy_buffers(bufs))
+    assert float(r.scalars["x"]) == pytest.approx(expected)
+
+
+def test_remainder_iterations_execute():
+    """Trip not divisible by VF: the scalar tail must run."""
+    from repro.ir import KernelBuilder
+
+    k = KernelBuilder("rem")
+    a, b = k.arrays("a", "b", )
+    i = k.loop(77)  # 77 % 4 == 1
+    a[i] = b[i] + 1.0
+    kern = k.build()
+    plan = vectorize_loop(kern, ARMV8_NEON)
+    bufs = make_buffers(kern, seed=9)
+    expected = bufs["b"][:77] + np.float32(1.0)
+    run_vector(plan, bufs)
+    np.testing.assert_allclose(bufs["a"][:77], expected, rtol=1e-6)

@@ -1,0 +1,172 @@
+"""Experiment driver tests: every paper figure regenerates with the
+expected qualitative shape.
+
+These run the full-size datasets (the timing model is analytical, so a
+suite sweep is fast); dataset construction is cached across tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ARM_LLV,
+    EXPERIMENTS,
+    X86_SLP,
+    build_dataset,
+    run_experiment,
+)
+from repro.experiments.reporting import ascii_table, fail_summary, text_scatter
+
+
+@pytest.fixture(scope="module")
+def arm_ds():
+    return build_dataset(ARM_LLV)
+
+
+@pytest.fixture(scope="module")
+def x86_ds():
+    return build_dataset(X86_SLP)
+
+
+class TestDatasets:
+    def test_arm_dataset_shape(self, arm_ds):
+        assert len(arm_ds.samples) + len(arm_ds.failures) == 151
+        assert 75 <= len(arm_ds.samples) <= 110
+
+    def test_x86_dataset_shape(self, x86_ds):
+        assert len(x86_ds.samples) + len(x86_ds.failures) == 151
+        assert 40 <= len(x86_ds.samples) <= 110
+
+    def test_speedups_positive_and_plausible(self, arm_ds):
+        sp = arm_ds.measured
+        assert (sp > 0).all()
+        assert sp.max() <= 10.0
+        assert 0.5 <= np.median(sp) <= 4.0
+
+    def test_dataset_cached(self):
+        d1 = build_dataset(ARM_LLV)
+        d2 = build_dataset(ARM_LLV)
+        assert d1 is d2
+
+    def test_sample_lookup(self, arm_ds):
+        s = arm_ds.sample("s000")
+        assert s.name == "s000"
+        with pytest.raises(KeyError):
+            arm_ds.sample("nope")
+
+    def test_summary_text(self, arm_ds):
+        text = arm_ds.summary()
+        assert "vectorized" in text and "median" in text
+
+
+class TestExperimentRegistry:
+    def test_eleven_experiments(self):
+        assert list(EXPERIMENTS) == [f"E{i}" for i in range(1, 12)]
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    @pytest.mark.parametrize("eid", list(EXPERIMENTS))
+    def test_every_experiment_runs(self, eid):
+        res = run_experiment(eid)
+        assert res.id == eid
+        assert res.rows or res.tables
+        text = res.to_text()
+        assert res.title in text
+
+
+class TestPaperShape:
+    """The qualitative claims of the paper must hold in the results."""
+
+    def test_e1_baseline_has_mispredictions(self):
+        row = run_experiment("E1").rows[0]
+        assert row["FP"] + row["FN"] >= 3
+        assert row["pearson"] < 0.8
+
+    def test_e4_rated_beats_counts(self):
+        res = run_experiment("E4")
+        count_r = [r["pearson"] for r in res.rows if r["features"] == "counts"]
+        rated_r = [r["pearson"] for r in res.rows if r["features"] == "rated"]
+        assert max(rated_r) > max(count_r)
+        assert min(rated_r) > 0.6
+
+    def test_e4_rated_beats_baseline(self):
+        base = run_experiment("E1").rows[0]["pearson"]
+        res = run_experiment("E4")
+        rated_r = [r["pearson"] for r in res.rows if r["features"] == "rated"]
+        assert max(rated_r) > base
+
+    def test_e5_loocv_close_to_fit(self):
+        res = run_experiment("E5")
+        rows = {(r["setting"], r["model"].lower()): r for r in res.rows}
+        fit = rows[("fit-all", "rated-nnls")]["pearson"]
+        loocv = rows[("LOOCV", "rated-nnls")]["pearson"]
+        assert loocv <= fit + 0.05
+        assert loocv > fit - 0.25  # generalizes
+
+    def test_e6_policy_improves_runtime(self):
+        res = run_experiment("E6")
+        policies = {r["policy"]: r["suite cycles/elem"] for r in res.tables[0][1]}
+        assert policies["oracle"] <= policies["rated-NNLS policy"]
+        assert policies["rated-NNLS policy"] <= policies["llvm-static policy"] + 1e-9
+        assert policies["oracle"] <= policies["always-vectorize"]
+        assert policies["oracle"] <= policies["never-vectorize"]
+
+    def test_e7_two_transformations_differ(self):
+        res = run_experiment("E7")
+        measured = [r["measured"] for r in res.rows if "measured" in r]
+        assert len(measured) == 2
+        assert measured[0] != measured[1]
+
+    def test_e10_cost_targets_unstable(self):
+        res = run_experiment("E10")
+        cost_rows = [r for r in res.rows if r["model"].startswith("cost-")]
+        # The hallmark of the wide-interval problem: at least one cost
+        # fit with degenerate RMSE or weak correlation.
+        assert any(r["rmse"] > 2.0 or r["pearson"] < 0.3 for r in cost_rows)
+
+    def test_e11_speedup_beats_cost_on_x86(self):
+        cost = run_experiment("E10")
+        speedup = run_experiment("E11")
+        best_cost = max(
+            r["pearson"] for r in cost.rows if r["model"].startswith("cost-")
+        )
+        best_speedup = max(r["pearson"] for r in speedup.rows)
+        assert best_speedup > best_cost + 0.1
+
+    def test_e11_rated_nnls_eliminates_false_negatives(self):
+        res = run_experiment("E11")
+        row = next(r for r in res.rows if r["model"] == "rated-NNLS")
+        assert row["FN"] <= 1
+
+    def test_e9_x86_baseline_weak_correlation(self):
+        row = run_experiment("E9").rows[0]
+        assert row["pearson"] < 0.5
+
+
+class TestReporting:
+    def test_ascii_table_alignment(self):
+        rows = [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yyy"}]
+        text = ascii_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(l) for l in lines[1:]}) <= 2  # consistent width
+
+    def test_ascii_table_empty(self):
+        assert "(no rows)" in ascii_table([])
+
+    def test_text_scatter_contains_points(self):
+        p = np.array([1.0, 2.0, 3.0])
+        m = np.array([1.1, 2.2, 2.9])
+        text = text_scatter(p, m)
+        assert "o" in text
+        assert "measured" in text
+
+    def test_text_scatter_empty(self):
+        assert text_scatter(np.array([]), np.array([])) == "(no points)"
+
+    def test_fail_summary_counts(self):
+        fails = [("a", "x"), ("b", "x"), ("c", "y")]
+        assert fail_summary(fails) == "x: 2; y: 1"
+        assert fail_summary([]) == "none"

@@ -1,0 +1,136 @@
+"""Fidelity spot checks: instruction mixes and determinism.
+
+These pin down the lowering of representative TSVC kernels (the
+feature vectors the cost models are fitted on) and the end-to-end
+determinism of the study.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import lower_scalar, lower_vector
+from repro.codegen.lowering import BaseLowerer
+from repro.costmodel import class_count, feature_vector
+from repro.experiments.drivers import run_e1
+from repro.ir import DType
+from repro.sim import measure_kernel
+from repro.targets import ARMV8_NEON, GENERIC_IR, X86_AVX2
+from repro.targets.classes import IClass
+from repro.tsvc import get_kernel
+from repro.vectorize import vectorize_loop
+
+from tests.helpers import build
+
+
+def ir_counts(name, target=ARMV8_NEON):
+    kern = get_kernel(name)
+    plan = vectorize_loop(kern, target)
+    assert not hasattr(plan, "reason"), f"{name}: {plan}"
+    return lower_vector(plan, GENERIC_IR).counts(), plan.vf
+
+
+class TestKnownInstructionMixes:
+    def test_s000_minimal_block(self):
+        counts, vf = ir_counts("s000")
+        assert counts == {IClass.LOAD: 1, IClass.ADD: 1, IClass.STORE: 1}
+
+    def test_vdotr_is_one_fma(self):
+        counts, _ = ir_counts("vdotr")
+        assert counts.get(IClass.FMA) == 1
+        assert counts.get(IClass.LOAD) == 2
+        assert IClass.MUL not in counts
+
+    def test_vag_is_one_gather_at_ir_level(self):
+        counts, _ = ir_counts("vag")
+        assert counts.get(IClass.GATHER) == 1
+        assert counts.get(IClass.LOAD) == 1  # the index vector
+
+    def test_s491_is_one_scatter_at_ir_level(self):
+        counts, _ = ir_counts("s491")
+        assert counts.get(IClass.SCATTER) == 1
+
+    def test_s271_guarded_fma(self):
+        counts, _ = ir_counts("s271")
+        assert counts.get(IClass.CMP) == 1
+        assert counts.get(IClass.MASKSTORE) == 1
+        assert counts.get(IClass.FMA) == 1
+
+    def test_s127_interleaved_stores(self):
+        counts, _ = ir_counts("s127")
+        # Two stride-2 stores -> interleave shuffles appear.
+        assert counts.get(IClass.SHUFFLE, 0) >= 2
+        assert counts.get(IClass.STORE, 0) >= 2
+
+    def test_s1112_reverse_shuffles(self):
+        counts, _ = ir_counts("s1112")
+        assert counts.get(IClass.SHUFFLE, 0) >= 2  # reversed load + store
+
+    def test_s451_single_vector_call_at_ir_level(self):
+        counts, _ = ir_counts("s451")
+        assert counts.get(IClass.EXP) == 1
+
+    def test_s314_reduction_block(self):
+        counts, _ = ir_counts("s314")
+        assert counts.get(IClass.CMP) == 1
+        assert counts.get(IClass.BLEND) == 1
+        # Horizontal reduce amortized over 8000 iterations.
+        assert 0 < counts.get(IClass.REDUCE, 0) < 0.01
+
+
+class TestImplicitConversions:
+    def test_int_operand_in_float_expr_gets_cvt(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = b[i] * (i + 1)
+
+        stream = lower_scalar(build("t", body), ARMV8_NEON)
+        assert any(ins.iclass is IClass.CVT for ins in stream.body)
+
+    def test_no_spurious_cvt_same_kind(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = b[i] * 2.0
+
+        stream = lower_scalar(build("t", body), ARMV8_NEON)
+        assert not any(ins.iclass is IClass.CVT for ins in stream.body)
+
+
+class TestDeterminism:
+    def test_measurement_bitwise_stable(self):
+        kern = get_kernel("s273")
+        a = measure_kernel(kern, ARMV8_NEON, jitter=0.02, seed=5)
+        b = measure_kernel(kern, ARMV8_NEON, jitter=0.02, seed=5)
+        assert a.scalar_cycles == b.scalar_cycles
+        assert a.vector_cycles == b.vector_cycles
+
+    def test_experiment_rows_stable(self):
+        r1 = run_e1()
+        r2 = run_e1()
+        assert r1.rows == r2.rows
+
+    def test_feature_vectors_stable(self):
+        kern = get_kernel("vbor")
+        m1 = measure_kernel(kern, X86_AVX2)
+        m2 = measure_kernel(kern, X86_AVX2)
+        np.testing.assert_array_equal(
+            feature_vector(m1.ir_vector_stream),
+            feature_vector(m2.ir_vector_stream),
+        )
+
+
+class TestScalarVectorMixParity:
+    """Per-element arithmetic counts agree between scalar and vector
+    lowering for clean kernels (packing overhead aside)."""
+
+    @pytest.mark.parametrize("name", ["s000", "vpvtv", "vbor", "s152", "s1281"])
+    def test_arith_parity(self, name):
+        kern = get_kernel(name)
+        plan = vectorize_loop(kern, ARMV8_NEON)
+        s = feature_vector(lower_scalar(kern, ARMV8_NEON))
+        v = feature_vector(lower_vector(plan, GENERIC_IR))
+        for c in (IClass.ADD, IClass.MUL, IClass.FMA, IClass.DIV):
+            assert class_count(s, c) == pytest.approx(
+                class_count(v, c), abs=1e-6
+            ), f"{name}: {c} count diverged"

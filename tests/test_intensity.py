@@ -1,0 +1,144 @@
+"""Arithmetic-intensity analysis and extended-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    IntensityReport,
+    analyze_intensity,
+    machine_balance,
+    memory_bound_ratio,
+)
+from repro.codegen import lower_scalar, lower_vector
+from repro.costmodel import (
+    ExtendedSpeedupModel,
+    RatedSpeedupModel,
+    extended_features,
+    predict_all,
+)
+from repro.costmodel.extended import EXTENDED_SUFFIX, intensity_of
+from repro.costmodel.featurize import N_FEATURES
+from repro.fitting import LeastSquares
+from repro.targets import ARMV8_NEON, X86_AVX2
+from repro.validation import pearson
+from repro.vectorize import vectorize_loop
+
+from tests.helpers import build
+from tests.test_costmodel import feat, mk_sample
+
+
+def stream_of(body_fn, target=ARMV8_NEON):
+    kern = build("t", body_fn)
+    return lower_scalar(kern, target)
+
+
+class TestIntensityReport:
+    def test_streaming_kernel_low_intensity(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(100)
+            a[i] = b[i] + 1.0
+
+        rep = analyze_intensity(stream_of(body))
+        # 1 add vs 8 bytes of traffic.
+        assert rep.ops_per_iter == pytest.approx(1.0)
+        assert rep.bytes_per_iter == pytest.approx(8.0)
+        assert rep.intensity == pytest.approx(1 / 8)
+
+    def test_compute_heavy_kernel_high_intensity(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(100)
+            x = b[i]
+            a[i] = (
+                x * x * x + x * x + x + x * x * x * x + x * x + x * x * x
+            )
+
+        rep = analyze_intensity(stream_of(body))
+        assert rep.intensity > 0.5
+
+    def test_fma_counts_double(self):
+        def body(k):
+            a, b, c, d = k.arrays("a", "b", "c", "d")
+            i = k.loop(100)
+            a[i] = b[i] + c[i] * d[i]  # one FMA
+
+        rep = analyze_intensity(stream_of(body))
+        assert rep.ops_per_iter == pytest.approx(2.0)
+
+    def test_vector_stream_per_elem_matches_scalar(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(256)
+            a[i] = b[i] * 2.0
+
+        kern = build("t", body)
+        s = lower_scalar(kern, ARMV8_NEON)
+        v = lower_vector(vectorize_loop(kern, ARMV8_NEON), ARMV8_NEON)
+        rs, rv = analyze_intensity(s), analyze_intensity(v)
+        assert rs.ops_per_elem == pytest.approx(rv.ops_per_elem)
+        assert rs.bytes_per_elem == pytest.approx(rv.bytes_per_elem)
+
+    def test_zero_traffic_handled(self):
+        rep = IntensityReport(ops_per_iter=3.0, bytes_per_iter=0.0, elems_per_iter=1)
+        assert rep.intensity == float("inf")
+        rep0 = IntensityReport(ops_per_iter=0.0, bytes_per_iter=0.0, elems_per_iter=1)
+        assert rep0.intensity == 0.0
+
+
+class TestMachineBalance:
+    def test_balance_grows_with_working_set(self):
+        small = machine_balance(ARMV8_NEON, 1024)
+        big = machine_balance(ARMV8_NEON, 1 << 30)
+        assert big > small  # less bandwidth -> need more ops/byte
+
+    def test_streaming_kernel_is_memory_bound(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(100)
+            a[i] = b[i] + 1.0
+
+        kern = build("t", body)
+        v = lower_vector(vectorize_loop(kern, ARMV8_NEON), ARMV8_NEON)
+        assert memory_bound_ratio(v, ARMV8_NEON) > 1.0
+
+    def test_avx2_balance_higher_than_neon(self):
+        # Wider vectors, same-ish bandwidth: x86 needs more ops/byte.
+        assert machine_balance(X86_AVX2, 1 << 30) > machine_balance(
+            ARMV8_NEON, 1 << 30
+        )
+
+
+class TestExtendedFeatures:
+    def test_shape(self):
+        v = extended_features(mk_sample())
+        assert len(v) == 2 * N_FEATURES + len(EXTENDED_SUFFIX)
+
+    def test_vf_feature_present(self):
+        s8 = mk_sample(vf=8)
+        s4 = mk_sample(vf=4)
+        v8, v4 = extended_features(s8), extended_features(s4)
+        assert v8[2 * N_FEATURES] == 8.0
+        assert v4[2 * N_FEATURES] == 4.0
+
+    def test_shares_sum_to_one(self):
+        v = extended_features(mk_sample(vector=feat(load=2, add=1, shuffle=1)))
+        mem, ovh, comp = v[-3], v[-2], v[-1]
+        assert mem + ovh + comp == pytest.approx(1.0)
+
+    def test_intensity_of_scale_free(self):
+        a = feat(load=1, add=2)
+        assert intensity_of(a) == pytest.approx(intensity_of(3 * a))
+
+    def test_extended_beats_rated_on_arm(self):
+        from repro.experiments import ARM_LLV, build_dataset
+
+        ds = build_dataset(ARM_LLV)
+        rated = RatedSpeedupModel(LeastSquares()).fit(ds.samples)
+        ext = ExtendedSpeedupModel(LeastSquares()).fit(ds.samples)
+        r_rated = pearson(predict_all(rated, ds.samples), ds.measured)
+        r_ext = pearson(predict_all(ext, ds.samples), ds.measured)
+        assert r_ext > r_rated
+
+    def test_extended_model_name(self):
+        assert ExtendedSpeedupModel(LeastSquares()).name == "extended-L2"

@@ -1,0 +1,283 @@
+"""Unit tests for the kernel builder DSL."""
+
+import pytest
+
+from repro.ir import (
+    Affine,
+    ArrayStore,
+    BinOp,
+    BinOpKind,
+    BuildError,
+    Compare,
+    Const,
+    DType,
+    IfBlock,
+    Indirect,
+    KernelBuilder,
+    Load,
+    ScalarAssign,
+    Select,
+    fabs,
+    fmax,
+    fmin,
+    fsqrt,
+    select,
+)
+
+
+def test_simple_kernel():
+    k = KernelBuilder("t", category="test")
+    a, b = k.arrays("a", "b")
+    i = k.loop(100)
+    a[i] = b[i] + 1.0
+    kern = k.build()
+    assert kern.name == "t"
+    assert kern.category == "test"
+    assert kern.depth == 1
+    assert kern.inner.trip == 100
+    (store,) = kern.body
+    assert isinstance(store, ArrayStore)
+    assert store.subscript == (Affine((1,), 0),)
+
+
+def test_index_arithmetic_offsets():
+    k = KernelBuilder("t")
+    a = k.array("a")
+    i = k.loop(100)
+    a[i + 1] = a[2 * i] + a[i - 3] + a[-i + 50]
+    kern = k.build()
+    store = kern.body[0]
+    assert store.subscript == (Affine((1,), 1),)
+    subs = [ld.subscript[0] for ld in kern.loads()]
+    assert Affine((2,), 0) in subs
+    assert Affine((1,), -3) in subs
+    assert Affine((-1,), 50) in subs
+
+
+def test_constant_subscript():
+    k = KernelBuilder("t")
+    a, b = k.arrays("a", "b")
+    i = k.loop(10)
+    a[i] = b[5]
+    (ld,) = list(k.build().loads())
+    assert ld.subscript == (Affine((0,), 5),)
+
+
+def test_two_level_nest():
+    k = KernelBuilder("t")
+    aa = k.array2("aa")
+    i = k.loop(16)
+    j = k.loop(16)
+    aa[i, j] = aa[i, j - 1] + 1.0
+    kern = k.build()
+    assert kern.depth == 2
+    (ld,) = list(kern.loads())
+    assert ld.subscript == (Affine((1, 0), 0), Affine((0, 1), -1))
+
+
+def test_mixed_index_sum():
+    k = KernelBuilder("t")
+    a = k.array("a", extents=(1000,))
+    i = k.loop(16)
+    j = k.loop(16)
+    a[i + j] = 1.0
+    store = k.build().body[0]
+    assert store.subscript == (Affine((1, 1), 0),)
+
+
+def test_indirect_subscript():
+    k = KernelBuilder("t")
+    a, b = k.arrays("a", "b")
+    ip = k.array("ip", dtype=DType.I32)
+    i = k.loop(10)
+    a[i] = b[ip[i + 1]]
+    (ld,) = [l for l in k.build().loads() if l.array == "b"]
+    assert ld.subscript == (Indirect("ip", Affine((1,), 1)),)
+
+
+def test_indirect_through_float_array_rejected():
+    k = KernelBuilder("t")
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(10)
+    with pytest.raises(BuildError):
+        a[i] = b[c[i]]
+
+
+def test_scalar_param_and_set():
+    k = KernelBuilder("t")
+    a = k.array("a")
+    s = k.scalar("s", init=2.5)
+    i = k.loop(10)
+    s.set(s + a[i])
+    kern = k.build()
+    assert kern.scalars["s"].init == 2.5
+    (assign,) = kern.body
+    assert isinstance(assign, ScalarAssign)
+
+
+def test_if_else_blocks():
+    k = KernelBuilder("t")
+    a, b = k.arrays("a", "b")
+    i = k.loop(10)
+    with k.if_(b[i] > 0.0):
+        a[i] = 1.0
+    with k.else_():
+        a[i] = 2.0
+    (blk,) = k.build().body
+    assert isinstance(blk, IfBlock)
+    assert len(blk.then_body) == 1 and len(blk.else_body) == 1
+
+
+def test_nested_if():
+    k = KernelBuilder("t")
+    a, b, c = k.arrays("a", "b", "c")
+    i = k.loop(10)
+    with k.if_(b[i] > 0.0):
+        with k.if_(c[i] > 0.0):
+            a[i] = 1.0
+    (outer,) = k.build().body
+    assert isinstance(outer.then_body[0], IfBlock)
+
+
+def test_else_without_if_raises():
+    k = KernelBuilder("t")
+    a = k.array("a")
+    i = k.loop(10)
+    a[i] = 1.0
+    with pytest.raises(BuildError):
+        with k.else_():
+            pass
+
+
+def test_double_else_raises():
+    k = KernelBuilder("t")
+    a, b = k.arrays("a", "b")
+    i = k.loop(10)
+    with k.if_(b[i] > 0.0):
+        a[i] = 1.0
+    with k.else_():
+        a[i] = 2.0
+    with pytest.raises(BuildError):
+        with k.else_():
+            a[i] = 3.0
+
+
+def test_if_condition_must_be_bool():
+    k = KernelBuilder("t")
+    a = k.array("a")
+    i = k.loop(10)
+    with pytest.raises(BuildError):
+        k.if_(a[i])
+
+
+def test_expr_has_no_truth_value():
+    k = KernelBuilder("t")
+    a = k.array("a")
+    i = k.loop(10)
+    with pytest.raises(BuildError):
+        bool(a[i] > 0.0)
+
+
+def test_loop_after_statement_rejected():
+    k = KernelBuilder("t")
+    a = k.array("a")
+    i = k.loop(10)
+    a[i] = 1.0
+    with pytest.raises(BuildError):
+        k.loop(10)
+
+
+def test_three_loops_rejected():
+    k = KernelBuilder("t")
+    k.loop(4)
+    k.loop(4)
+    with pytest.raises(BuildError):
+        k.loop(4)
+
+
+def test_empty_body_rejected():
+    k = KernelBuilder("t")
+    k.array("a")
+    k.loop(10)
+    with pytest.raises(BuildError):
+        k.build()
+
+
+def test_no_loop_rejected():
+    k = KernelBuilder("t")
+    with pytest.raises(BuildError):
+        k.build()
+
+
+def test_duplicate_declaration_rejected():
+    k = KernelBuilder("t")
+    k.array("a")
+    with pytest.raises(BuildError):
+        k.array("a")
+    with pytest.raises(BuildError):
+        k.scalar("a")
+
+
+def test_wrong_dims_subscript():
+    k = KernelBuilder("t")
+    aa = k.array2("aa")
+    i = k.loop(10)
+    with pytest.raises(BuildError):
+        aa[i] = 1.0
+
+
+def test_helper_functions_build_expected_nodes():
+    k = KernelBuilder("t")
+    a, b = k.arrays("a", "b")
+    i = k.loop(10)
+    a[i] = fmin(a[i], b[i]) + fmax(a[i], 0.0) + fabs(b[i]) + fsqrt(b[i])
+    kern = k.build()
+    text = str(kern.body[0])
+    assert "min(" in text and "max(" in text and "abs(" in text and "sqrt(" in text
+
+
+def test_select_helper():
+    k = KernelBuilder("t")
+    a, b = k.arrays("a", "b")
+    i = k.loop(10)
+    a[i] = select(b[i] > 0.0, b[i], 0.0)
+    store = k.build().body[0]
+    assert isinstance(store.value, Select)
+
+
+def test_float_literal_coercion_to_array_dtype():
+    k = KernelBuilder("t")
+    a = k.array("a", dtype=DType.F64)
+    i = k.loop(10)
+    a[i] = a[i] + 1.0
+    store = k.build().body[0]
+    assert store.value.dtype is DType.F64
+
+
+def test_reflected_operators():
+    k = KernelBuilder("t")
+    a, b = k.arrays("a", "b")
+    i = k.loop(10)
+    a[i] = 1.0 - b[i]
+    store = k.build().body[0]
+    assert isinstance(store.value, BinOp)
+    assert store.value.op is BinOpKind.SUB
+    assert isinstance(store.value.lhs, Const)
+
+
+def test_iter_value_in_expression():
+    k = KernelBuilder("t")
+    a, b = k.arrays("a", "b")
+    i = k.loop(10)
+    a[i] = b[i] * (i + 1)
+    kern = k.build()
+    assert "i" in str(kern.body[0])
+
+
+def test_index_times_handle_errors_cleanly():
+    k = KernelBuilder("t")
+    a = k.array("a")
+    i = k.loop(10)
+    # i*i is not affine; using it as a subscript must fail loudly.
+    with pytest.raises(BuildError):
+        a[i * i] = 1.0  # type: ignore[index]

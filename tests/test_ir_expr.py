@@ -1,0 +1,140 @@
+"""Unit tests for repro.ir.expr: nodes, typing rules, subscripts."""
+
+import pytest
+
+from repro.ir.expr import (
+    Affine,
+    BinOp,
+    BinOpKind,
+    CmpKind,
+    Compare,
+    Const,
+    Convert,
+    Indirect,
+    IterValue,
+    Load,
+    ScalarRef,
+    Select,
+    UnOp,
+    UnOpKind,
+    affine1,
+)
+from repro.ir.types import DType
+
+
+class TestAffine:
+    def test_coeff_access(self):
+        a = Affine((2, 3), 5)
+        assert a.coeff(0) == 2
+        assert a.coeff(1) == 3
+        assert a.coeff(7) == 0  # out of range -> 0
+
+    def test_shifted(self):
+        assert Affine((1,), 2).shifted(3) == Affine((1,), 5)
+
+    def test_at_depth_pads_and_truncates(self):
+        assert Affine((1,), 2).at_depth(2) == Affine((1, 0), 2)
+        assert Affine((1, 2), 0).at_depth(1) == Affine((1,), 0)
+
+    def test_is_constant(self):
+        assert Affine((0, 0), 7).is_constant
+        assert not Affine((1, 0), 7).is_constant
+
+    def test_affine1_constructor(self):
+        a = affine1(coeff=3, offset=-1, level=1, depth=2)
+        assert a == Affine((0, 3), -1)
+
+    def test_affine1_bad_level(self):
+        with pytest.raises(ValueError):
+            affine1(level=2, depth=1)
+
+    def test_str_rendering(self):
+        assert str(Affine((1,), 0)) == "i"
+        assert str(Affine((2,), 1)) == "2*i+1"
+        assert str(Affine((0,), 5)) == "5"
+        assert str(Affine((-1,), 3)) == "-1*i+3"
+
+
+class TestTypingRules:
+    def test_binop_promotion(self):
+        e = BinOp(BinOpKind.ADD, Const(1.0, DType.F32), Const(2, DType.I32))
+        assert e.dtype is DType.F32
+
+    def test_int_only_op_rejects_float(self):
+        with pytest.raises(TypeError):
+            BinOp(BinOpKind.AND, Const(1.0, DType.F32), Const(1, DType.I32))
+
+    def test_shift_requires_ints(self):
+        e = BinOp(BinOpKind.SHL, Const(1, DType.I32), Const(2, DType.I32))
+        assert e.dtype is DType.I32
+
+    def test_compare_is_bool(self):
+        e = Compare(CmpKind.LT, Const(1.0, DType.F32), Const(2.0, DType.F32))
+        assert e.dtype is DType.BOOL
+
+    def test_select_requires_bool_cond(self):
+        cond = Compare(CmpKind.GT, Const(1.0, DType.F32), Const(0.0, DType.F32))
+        sel = Select(cond, Const(1.0, DType.F32), Const(0.0, DType.F32))
+        assert sel.dtype is DType.F32
+        with pytest.raises(TypeError):
+            Select(Const(1.0, DType.F32), Const(1.0, DType.F32), Const(0.0, DType.F32))
+
+    def test_sqrt_requires_float(self):
+        with pytest.raises(TypeError):
+            UnOp(UnOpKind.SQRT, Const(1, DType.I32))
+
+    def test_not_requires_bool(self):
+        with pytest.raises(TypeError):
+            UnOp(UnOpKind.NOT, Const(1, DType.I32))
+
+    def test_convert_changes_dtype(self):
+        e = Convert(Const(1, DType.I32), DType.F64)
+        assert e.dtype is DType.F64
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        ld = Load("a", (Affine((1,), 0),), DType.F32)
+        e = BinOp(BinOpKind.MUL, ld, Const(2.0, DType.F32))
+        nodes = list(e.walk())
+        assert nodes[0] is e
+        assert ld in nodes
+        assert len(nodes) == 3
+
+    def test_loads_iterator(self):
+        ld1 = Load("a", (Affine((1,), 0),), DType.F32)
+        ld2 = Load("b", (Affine((1,), 1),), DType.F32)
+        e = BinOp(BinOpKind.ADD, ld1, ld2)
+        assert {l.array for l in e.loads()} == {"a", "b"}
+
+    def test_structural_equality_for_cse(self):
+        a1 = Load("a", (Affine((1,), 0),), DType.F32)
+        a2 = Load("a", (Affine((1,), 0),), DType.F32)
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+        assert a1 != Load("a", (Affine((1,), 1),), DType.F32)
+
+
+class TestIndirect:
+    def test_str(self):
+        ix = Indirect("ip", Affine((1,), 0))
+        assert str(ix) == "ip[i]"
+
+    def test_load_str(self):
+        ld = Load("b", (Indirect("ip", Affine((1,), 0)),), DType.F32)
+        assert str(ld) == "b[ip[i]]"
+
+
+class TestMisc:
+    def test_iter_value_str(self):
+        assert str(IterValue(0)) == "i"
+        assert str(IterValue(1)) == "j"
+
+    def test_scalar_ref(self):
+        s = ScalarRef("alpha", DType.F64)
+        assert s.dtype is DType.F64
+        assert str(s) == "alpha"
+
+    def test_minmax_str(self):
+        e = BinOp(BinOpKind.MIN, Const(1.0, DType.F32), Const(2.0, DType.F32))
+        assert str(e).startswith("min(")

@@ -1,0 +1,118 @@
+"""LoopKernel container and printer tests."""
+
+import pytest
+
+from repro.ir import DType, kernel_to_source
+from repro.ir.kernel import ArrayDecl, Loop, ScalarDecl
+
+from tests.helpers import build
+
+
+def two_level(k):
+    aa, bb = k.array2("aa"), k.array2("bb")
+    c = k.array("c", extents=(256,))
+    s = k.scalar("s", init=1.5)
+    i = k.loop(256)
+    j = k.loop(128)
+    aa[i, j] = bb[i, j] + c[i]
+    s.set(s + aa[i, j])
+
+
+class TestDecls:
+    def test_array_decl_nbytes(self):
+        assert ArrayDecl("a", DType.F32, (100,)).nbytes == 400
+        assert ArrayDecl("aa", DType.F64, (10, 10)).nbytes == 800
+
+    def test_array_decl_ndim(self):
+        assert ArrayDecl("a", DType.F32, (4, 5, 6)).ndim == 3
+
+    def test_loop_validation(self):
+        with pytest.raises(ValueError):
+            Loop(0)
+
+    def test_scalar_decl_defaults(self):
+        d = ScalarDecl("s")
+        assert d.dtype is DType.F32 and d.init == 0.0
+
+
+class TestKernelQueries:
+    def test_depth_and_trips(self):
+        kern = build("t", two_level)
+        assert kern.depth == 2
+        assert kern.inner.trip == 128
+        assert kern.inner_level == 1
+        assert kern.total_iterations == 256 * 128
+
+    def test_arrays_read_written(self):
+        kern = build("t", two_level)
+        assert kern.arrays_written() == {"aa"}
+        assert kern.arrays_read() == {"aa", "bb", "c"}
+
+    def test_indirect_index_arrays_counted_as_read(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            ip = k.array("ip", dtype=DType.I32)
+            i = k.loop(16)
+            a[ip[i]] = b[i]
+
+        kern = build("t", body)
+        assert "ip" in kern.arrays_read()
+
+    def test_working_set(self):
+        kern = build("t", two_level)
+        expected = 256 * 256 * 4 * 2 + 256 * 4  # aa + bb + c
+        assert kern.working_set_bytes() == expected
+
+    def test_assigned_and_live_out_scalars(self):
+        kern = build("t", two_level)
+        assert kern.assigned_scalars() == {"s"}
+        assert kern.live_out_scalars() == {"s"}
+
+    def test_str_uses_printer(self):
+        kern = build("t", two_level)
+        assert str(kern) == kernel_to_source(kern)
+
+
+class TestPrinter:
+    def test_structure(self):
+        kern = build("t", two_level)
+        text = kernel_to_source(kern)
+        assert "for (int i = 0; i < 256; i++)" in text
+        assert "for (int j = 0; j < 128; j++)" in text
+        assert "f32 aa[256][256];" in text
+        assert "f32 s = 1.5;" in text
+        assert text.count("}") == 2
+
+    def test_if_else_rendering(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(16)
+            with k.if_(b[i] > 0.0):
+                a[i] = 1.0
+            with k.else_():
+                a[i] = 2.0
+
+        text = kernel_to_source(build("t", body))
+        assert "if (" in text and "} else {" in text
+
+    def test_nested_if_indentation(self):
+        def body(k):
+            a, b, c = k.arrays("a", "b", "c")
+            i = k.loop(16)
+            with k.if_(b[i] > 0.0):
+                with k.if_(c[i] > 0.0):
+                    a[i] = 1.0
+
+        text = kernel_to_source(build("t", body))
+        lines = [l for l in text.splitlines() if "a[i]" in l]
+        assert lines[0].startswith("      ")  # three levels deep
+
+    def test_indirect_rendering(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            ip = k.array("ip", dtype=DType.I32)
+            i = k.loop(16)
+            a[i] = b[ip[i + 1]]
+
+        text = kernel_to_source(build("t", body))
+        assert "b[ip[i+1]]" in text

@@ -1,0 +1,84 @@
+"""Unit tests for repro.ir.types."""
+
+import pytest
+
+from repro.ir.types import DType, VecType, common_type, lanes_for
+
+
+class TestDType:
+    @pytest.mark.parametrize(
+        "dtype,size",
+        [
+            (DType.F32, 4),
+            (DType.F64, 8),
+            (DType.I32, 4),
+            (DType.I64, 8),
+            (DType.BOOL, 1),
+        ],
+    )
+    def test_sizes(self, dtype, size):
+        assert dtype.size == size
+
+    def test_float_predicate(self):
+        assert DType.F32.is_float and DType.F64.is_float
+        assert not DType.I32.is_float and not DType.BOOL.is_float
+
+    def test_int_predicate(self):
+        assert DType.I32.is_int and DType.I64.is_int
+        assert not DType.F32.is_int and not DType.BOOL.is_int
+
+    def test_bool_predicate(self):
+        assert DType.BOOL.is_bool
+        assert not DType.F32.is_bool
+
+
+class TestVecType:
+    def test_bits_and_size(self):
+        v = VecType(DType.F32, 4)
+        assert v.bits == 128
+        assert v.size == 16
+
+    def test_str(self):
+        assert str(VecType(DType.F64, 2)) == "<2 x f64>"
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            VecType(DType.F32, 0)
+
+
+class TestLanesFor:
+    @pytest.mark.parametrize(
+        "dtype,bits,lanes",
+        [
+            (DType.F32, 128, 4),
+            (DType.F32, 256, 8),
+            (DType.F64, 128, 2),
+            (DType.F64, 256, 4),
+            (DType.I32, 128, 4),
+        ],
+    )
+    def test_full_register(self, dtype, bits, lanes):
+        assert lanes_for(dtype, bits) == lanes
+
+    def test_non_divisible_raises(self):
+        with pytest.raises(ValueError):
+            lanes_for(DType.F64, 100)
+
+
+class TestCommonType:
+    def test_identity(self):
+        assert common_type(DType.F32, DType.F32) is DType.F32
+
+    def test_float_beats_int(self):
+        assert common_type(DType.F32, DType.I32) is DType.F32
+        assert common_type(DType.I64, DType.F32) is DType.F32
+
+    def test_wider_float_wins(self):
+        assert common_type(DType.F32, DType.F64) is DType.F64
+
+    def test_wider_int_wins(self):
+        assert common_type(DType.I32, DType.I64) is DType.I64
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            common_type(DType.BOOL, DType.F32)

@@ -1,0 +1,111 @@
+"""Verifier tests: hand-built malformed kernels must be rejected."""
+
+import pytest
+
+from repro.ir.expr import Affine, Const, Indirect, IterValue, Load, ScalarRef
+from repro.ir.kernel import ArrayDecl, Loop, LoopKernel, ScalarDecl
+from repro.ir.stmt import ArrayStore, IfBlock, ScalarAssign
+from repro.ir.types import DType
+from repro.ir.verify import VerificationError, verify_kernel
+
+
+def make_kernel(body, arrays=None, scalars=None, depth=1):
+    arrays = arrays if arrays is not None else {
+        "a": ArrayDecl("a", DType.F32, (100,))
+    }
+    return LoopKernel(
+        name="t",
+        loops=tuple(Loop(10) for _ in range(depth)),
+        arrays=arrays,
+        scalars=scalars or {},
+        body=tuple(body),
+        category="test",
+    )
+
+
+IDX = (Affine((1,), 0),)
+
+
+def test_valid_kernel_passes():
+    verify_kernel(make_kernel([ArrayStore("a", IDX, Const(1.0, DType.F32))]))
+
+
+def test_store_to_undeclared_array():
+    with pytest.raises(VerificationError, match="undeclared array"):
+        verify_kernel(make_kernel([ArrayStore("zz", IDX, Const(1.0, DType.F32))]))
+
+
+def test_load_from_undeclared_array():
+    body = [ArrayStore("a", IDX, Load("zz", IDX, DType.F32))]
+    with pytest.raises(VerificationError, match="undeclared array"):
+        verify_kernel(make_kernel(body))
+
+
+def test_dim_mismatch():
+    bad = (Affine((1,), 0), Affine((1,), 0))
+    with pytest.raises(VerificationError, match="subscripted"):
+        verify_kernel(make_kernel([ArrayStore("a", bad, Const(1.0, DType.F32))]))
+
+
+def test_affine_coeff_arity_mismatch():
+    bad = (Affine((1, 0), 0),)  # depth-2 coeffs in a depth-1 kernel
+    with pytest.raises(VerificationError, match="coeffs"):
+        verify_kernel(make_kernel([ArrayStore("a", bad, Const(1.0, DType.F32))]))
+
+
+def test_indirect_through_float_array():
+    arrays = {
+        "a": ArrayDecl("a", DType.F32, (100,)),
+        "f": ArrayDecl("f", DType.F32, (100,)),
+    }
+    bad = (Indirect("f", Affine((1,), 0)),)
+    with pytest.raises(VerificationError, match="must be integer"):
+        verify_kernel(
+            make_kernel([ArrayStore("a", bad, Const(1.0, DType.F32))], arrays=arrays)
+        )
+
+
+def test_assign_to_undeclared_scalar():
+    with pytest.raises(VerificationError, match="undeclared scalar"):
+        verify_kernel(make_kernel([ScalarAssign("s", Const(1.0, DType.F32))]))
+
+
+def test_scalar_ref_dtype_mismatch():
+    scalars = {"s": ScalarDecl("s", DType.F64)}
+    body = [ArrayStore("a", IDX, ScalarRef("s", DType.F32))]
+    with pytest.raises(VerificationError, match="referenced as"):
+        verify_kernel(make_kernel(body, scalars=scalars))
+
+
+def test_load_dtype_mismatch():
+    body = [ArrayStore("a", IDX, Load("a", IDX, DType.F64))]
+    with pytest.raises(VerificationError, match="typed"):
+        verify_kernel(make_kernel(body))
+
+
+def test_if_condition_must_be_bool():
+    body = [IfBlock(Const(1.0, DType.F32), (ArrayStore("a", IDX, Const(1.0, DType.F32)),))]
+    with pytest.raises(VerificationError, match="bool"):
+        verify_kernel(make_kernel(body))
+
+
+def test_iter_value_level_out_of_range():
+    body = [
+        ArrayStore(
+            "a",
+            IDX,
+            Load("a", IDX, DType.F32),
+        ),
+        ScalarAssign("s", IterValue(1, DType.I32)),
+    ]
+    scalars = {"s": ScalarDecl("s", DType.I32)}
+    with pytest.raises(VerificationError, match="out of range"):
+        verify_kernel(make_kernel(body, scalars=scalars, depth=1))
+
+
+def test_bool_store_into_float_array():
+    from repro.ir.expr import CmpKind, Compare
+
+    cond = Compare(CmpKind.GT, Const(1.0, DType.F32), Const(0.0, DType.F32))
+    with pytest.raises(VerificationError, match="bool"):
+        verify_kernel(make_kernel([ArrayStore("a", IDX, cond)]))

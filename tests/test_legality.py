@@ -1,0 +1,173 @@
+"""Legality and plan tests (vectorize.legality / vectorize.plan / llv)."""
+
+import math
+
+import pytest
+
+from repro.ir import DType
+from repro.targets import ARMV8_NEON, X86_AVX2
+from repro.vectorize import (
+    VectorizationFailure,
+    VectorizationPlan,
+    check_legality,
+    is_plan,
+    natural_vf,
+    vectorize_loop,
+    widest_dtype,
+)
+
+from tests.helpers import build
+
+
+class TestWidestDtypeAndVF:
+    def test_f32_only(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = b[i] + 1.0
+
+        kern = build("t", body)
+        assert widest_dtype(kern) is DType.F32
+        assert natural_vf(kern, ARMV8_NEON) == 4
+        assert natural_vf(kern, X86_AVX2) == 8
+
+    def test_f64_wins(self):
+        def body(k):
+            a = k.array("a", dtype=DType.F64)
+            b = k.array("b")
+            i = k.loop(64)
+            a[i] = a[i] + 1.0
+            b[i] = b[i] * 2.0
+
+        kern = build("t", body)
+        assert widest_dtype(kern) is DType.F64
+        assert natural_vf(kern, ARMV8_NEON) == 2
+
+    def test_i64_scalar_counts(self):
+        def body(k):
+            a = k.array("a")
+            s = k.scalar("s", dtype=DType.I64)
+            i = k.loop(64)
+            a[i] = a[i] + 1.0
+            s.set(s + 1)
+
+        assert widest_dtype(build("t", body)) is DType.I64
+
+
+class TestLegality:
+    def test_clean_loop(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = b[i] + 1.0
+
+        leg = check_legality(build("t", body), 8)
+        assert leg.ok
+        assert leg.max_safe_vf == math.inf
+
+    def test_recurrence_scalar_rejected(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            t = k.scalar("t")
+            i = k.loop(64)
+            a[i] = t + b[i]
+            t.set(b[i])
+
+        leg = check_legality(build("t", body), 4)
+        assert not leg.ok
+        assert leg.reason == "scalar recurrence"
+
+    def test_distance_respected(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = a[i - 4] + b[i]
+
+        kern = build("t", body)
+        assert check_legality(kern, 4).ok
+        assert not check_legality(kern, 8).ok
+        assert check_legality(kern, 8).reason == "unsafe memory dependence"
+
+    def test_invariant_store_rejected(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[3] = b[i] * 2.0
+
+        leg = check_legality(build("t", body), 4)
+        assert not leg.ok
+        assert leg.reason == "loop-invariant store"
+
+    def test_guards_are_legal(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            with k.if_(b[i] > 0.0):
+                a[i] = b[i]
+
+        assert check_legality(build("t", body), 4).ok
+
+
+class TestLLVDriver:
+    def test_natural_vf_chosen(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = b[i] + 1.0
+
+        plan = vectorize_loop(build("t", body), ARMV8_NEON)
+        assert is_plan(plan)
+        assert plan.vf == 4
+        assert plan.kind == "llv"
+
+    def test_tiny_trip_rejected(self):
+        def body(k):
+            a = k.array("a", extents=(8,))
+            i = k.loop(2)
+            a[i] = a[i] + 1.0
+
+        plan = vectorize_loop(build("t", body), ARMV8_NEON)
+        assert isinstance(plan, VectorizationFailure)
+        assert "trip" in plan.reason
+
+    def test_vf_one_rejected(self):
+        def body(k):
+            a = k.array("a")
+            i = k.loop(64)
+            a[i] = a[i] + 1.0
+
+        plan = vectorize_loop(build("t", body), ARMV8_NEON, vf=1)
+        assert isinstance(plan, VectorizationFailure)
+
+    def test_failure_str_mentions_reason(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = a[i - 1] + b[i]
+
+        plan = vectorize_loop(build("t", body), ARMV8_NEON)
+        assert "not vectorizable" in str(plan)
+        assert "unsafe memory dependence" in str(plan)
+
+
+class TestPlanProperties:
+    def test_reductions_exposed(self):
+        def body(k):
+            a = k.array("a")
+            s = k.scalar("s")
+            i = k.loop(64)
+            s.set(s + a[i])
+
+        plan = vectorize_loop(build("t", body), ARMV8_NEON)
+        assert set(plan.reductions) == {"s"}
+
+    def test_has_guards(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            with k.if_(b[i] > 0.0):
+                a[i] = b[i]
+
+        plan = vectorize_loop(build("t", body), ARMV8_NEON)
+        assert plan.has_guards
+        assert "VF=4" in str(plan)

@@ -1,0 +1,112 @@
+"""Cross-validation harness tests."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import SpeedupModel
+from repro.fitting import LeastSquares
+from repro.validation import kfold_predictions, loocv_predictions
+
+from tests.test_costmodel import feat, mk_sample
+
+
+def linear_truth_samples(n=25, seed=0):
+    """Samples whose speedups are exactly linear in vector counts."""
+    rng = np.random.default_rng(seed)
+    w = {"load": 0.6, "add": 0.4, "mul": 0.3, "store": 0.2}
+    out = []
+    for i in range(n):
+        counts = {k: float(rng.integers(1, 4)) for k in w}
+        v = feat(**counts)
+        speedup = sum(w[k] * counts[k] for k in w)
+        out.append(
+            mk_sample(name=f"s{i}", scalar=feat(load=1), vector=v, speedup=speedup)
+        )
+    return out
+
+
+def test_loocv_exact_on_linear_truth():
+    samples = linear_truth_samples()
+    preds = loocv_predictions(
+        lambda: SpeedupModel(
+            LeastSquares(),
+            feature_fn=lambda s: s.vector_features,
+            clip_to_vf=False,
+        ),
+        samples,
+    )
+    measured = np.array([s.measured_speedup for s in samples])
+    np.testing.assert_allclose(preds, measured, atol=1e-6)
+
+
+def test_loocv_one_prediction_per_sample():
+    samples = linear_truth_samples(12)
+    preds = loocv_predictions(
+        lambda: SpeedupModel(LeastSquares(), feature_fn=lambda s: s.vector_features),
+        samples,
+    )
+    assert len(preds) == 12
+    assert np.isfinite(preds).all()
+
+
+def test_loocv_does_not_peek(monkeypatch):
+    """The held-out sample must not be in any training fold."""
+    samples = linear_truth_samples(8)
+    seen = []
+
+    class SpyModel:
+        name = "spy"
+
+        def fit(self, train):
+            seen.append({s.name for s in train})
+            return self
+
+        def predict_speedup(self, s):
+            return 1.0
+
+    loocv_predictions(SpyModel, samples)
+    for i, train_names in enumerate(seen):
+        assert samples[i].name not in train_names
+        assert len(train_names) == 7
+
+
+def test_kfold_covers_everything():
+    samples = linear_truth_samples(20)
+    preds = kfold_predictions(
+        lambda: SpeedupModel(
+            LeastSquares(),
+            feature_fn=lambda s: s.vector_features,
+            clip_to_vf=False,
+        ),
+        samples,
+        k=5,
+    )
+    assert np.isfinite(preds).all()
+    measured = np.array([s.measured_speedup for s in samples])
+    np.testing.assert_allclose(preds, measured, atol=1e-6)
+
+
+def test_kfold_invalid_k():
+    samples = linear_truth_samples(5)
+    with pytest.raises(ValueError):
+        kfold_predictions(lambda: SpeedupModel(LeastSquares()), samples, k=1)
+    with pytest.raises(ValueError):
+        kfold_predictions(lambda: SpeedupModel(LeastSquares()), samples, k=6)
+
+
+def test_failed_fold_yields_nan():
+    samples = linear_truth_samples(6)
+
+    class FailingModel:
+        name = "failing"
+
+        def fit(self, train):
+            from repro.fitting import FitError
+
+            raise FitError("nope")
+
+        def predict_speedup(self, s):  # pragma: no cover
+            return 1.0
+
+    preds = loocv_predictions(FailingModel, samples)
+    assert np.isnan(preds).all()

@@ -1,0 +1,163 @@
+"""Machine-instruction stream container tests."""
+
+import pytest
+
+from repro.codegen.lowering import CACHE_LINE, access_traffic
+from repro.codegen.minstr import MInstr, MStream, StreamBuilder
+from repro.ir.types import DType
+from repro.targets.classes import IClass
+
+
+class TestAccessTraffic:
+    def test_contiguous(self):
+        assert access_traffic(4, 1) == 4
+        assert access_traffic(8, -1) == 8
+
+    def test_invariant(self):
+        assert access_traffic(4, 0) == 4
+
+    def test_strided_scales_until_line(self):
+        assert access_traffic(4, 2) == 8
+        assert access_traffic(4, 8) == 32
+        assert access_traffic(4, 100) == CACHE_LINE
+
+    def test_indirect(self):
+        assert access_traffic(4, None) == CACHE_LINE // 4
+
+
+class TestStreamBuilder:
+    def test_ids_sequential_across_sections(self):
+        b = StreamBuilder("t")
+        i0 = b.emit(IClass.LOAD, DType.F32)
+        b.in_prologue()
+        i1 = b.emit(IClass.BROADCAST, DType.F32)
+        b.in_epilogue()
+        i2 = b.emit(IClass.REDUCE, DType.F32)
+        assert (i0, i1, i2) == (0, 1, 2)
+
+    def test_sections_routed(self):
+        b = StreamBuilder("t")
+        b.in_prologue()
+        b.emit(IClass.BROADCAST, DType.F32)
+        b.in_body()
+        b.emit(IClass.ADD, DType.F32)
+        b.in_epilogue()
+        b.emit(IClass.REDUCE, DType.F32)
+        s = b.stream
+        assert len(s.prologue) == len(s.body) == len(s.epilogue) == 1
+
+    def test_none_srcs_filtered(self):
+        b = StreamBuilder("t")
+        rid = b.emit(IClass.ADD, DType.F32, srcs=(None, 0, None))
+        assert b.find(rid).srcs == (0,)
+
+    def test_find_and_add_carried(self):
+        b = StreamBuilder("t")
+        rid = b.emit(IClass.ADD, DType.F32)
+        b.add_carried(rid, rid, 2)
+        assert b.find(rid).carried == ((rid, 2),)
+        assert b.find(999) is None
+
+
+class TestStreamQueries:
+    def _stream(self):
+        b = StreamBuilder("t")
+        b.in_prologue()
+        b.emit(IClass.BROADCAST, DType.F32, lanes=4)
+        b.in_body()
+        b.emit(IClass.LOAD, DType.F32, lanes=4, mem_array="a", mem_stride=4)
+        b.emit(IClass.FMA, DType.F32, lanes=4, weight=0.5)
+        b.in_epilogue()
+        b.emit(IClass.REDUCE, DType.F32, lanes=4)
+        s = b.stream
+        s.iters = 10
+        s.elems_per_iter = 4
+        return s
+
+    def test_counts_amortization(self):
+        counts = self._stream().counts()
+        assert counts[IClass.BROADCAST] == pytest.approx(0.1)
+        assert counts[IClass.REDUCE] == pytest.approx(0.1)
+        assert counts[IClass.FMA] == pytest.approx(0.5)
+
+    def test_counts_without_overhead(self):
+        counts = self._stream().counts(include_overhead=False)
+        assert IClass.BROADCAST not in counts
+
+    def test_all_instrs_order(self):
+        s = self._stream()
+        classes = [i.iclass for i in s.all_instrs()]
+        assert classes[0] is IClass.BROADCAST
+        assert classes[-1] is IClass.REDUCE
+
+    def test_size_counts_body_only(self):
+        assert self._stream().size() == 2
+
+    def test_dump_sections(self):
+        text = self._stream().dump()
+        for section in ("prologue:", "body:", "epilogue:"):
+            assert section in text
+
+    def test_instr_str(self):
+        ins = MInstr(
+            id=3,
+            iclass=IClass.FMA,
+            dtype=DType.F32,
+            lanes=4,
+            srcs=(1, 2),
+            carried=((3, 1),),
+            weight=0.5,
+            note="acc",
+        )
+        text = str(ins)
+        assert "%3 = fma.v4.f32" in text
+        assert "(1,2)" in text
+        assert "^3@1" in text
+        assert "w=0.50" in text
+        assert "acc" in text
+
+    def test_is_vector_and_memory(self):
+        ld = MInstr(0, IClass.LOAD, DType.F32, 4)
+        add = MInstr(1, IClass.ADD, DType.F32, 1)
+        assert ld.is_vector and ld.is_memory
+        assert not add.is_vector and not add.is_memory
+
+
+class TestGroupTraffic:
+    def _mk(self, specs):
+        b = StreamBuilder("t")
+        for iclass, array, stride, traffic in specs:
+            b.emit(
+                iclass,
+                DType.F32,
+                mem_array=array,
+                mem_stride=stride,
+                traffic=traffic,
+            )
+        return b.stream
+
+    def test_single_contiguous(self):
+        s = self._mk([(IClass.LOAD, "a", 1, 4)])
+        assert s.bytes_per_iter() == pytest.approx(4.0)
+
+    def test_unrolled_copies_share_window(self):
+        s = self._mk([(IClass.LOAD, "a", 8, 4)] * 8)
+        assert s.bytes_per_iter() == pytest.approx(32.0)  # 8 elems x 4B
+
+    def test_sparse_strided_capped_by_lines(self):
+        s = self._mk([(IClass.LOAD, "a", 10_000, 4)] * 2)
+        assert s.bytes_per_iter() == pytest.approx(2 * 64)
+
+    def test_direction_separates_groups(self):
+        s = self._mk(
+            [(IClass.LOAD, "a", 1, 4), (IClass.STORE, "a", 1, 4)]
+        )
+        assert s.bytes_per_iter() == pytest.approx(8.0)
+
+    def test_ungrouped_instrs_use_traffic(self):
+        s = self._mk([(IClass.GATHER, "", None, 128)])
+        assert s.bytes_per_iter() == pytest.approx(128.0)
+
+    def test_zero_stride_falls_back_to_traffic(self):
+        s = self._mk([(IClass.BROADCAST, "a", 0, 4)])
+        assert s.bytes_per_iter() == pytest.approx(4.0)

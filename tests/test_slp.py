@@ -1,0 +1,170 @@
+"""SLP vectorizer tests: pack decisions and partial vectorization."""
+
+import pytest
+
+from repro.codegen.slp_gen import lower_slp
+from repro.ir import DType
+from repro.targets import ARMV8_NEON, X86_AVX2
+from repro.targets.classes import IClass
+from repro.vectorize import slp_vectorize
+from repro.vectorize.plan import VectorizationFailure, VectorizationPlan
+
+from tests.helpers import build
+
+
+def plan_for(body_fn, target=X86_AVX2, vf=None):
+    return slp_vectorize(build("t", body_fn), target, vf)
+
+
+def test_contiguous_store_packs():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(256)
+        a[i] = b[i] * 2.0
+
+    plan = plan_for(body)
+    assert isinstance(plan, VectorizationPlan)
+    assert plan.kind == "slp"
+    assert plan.packed_stmts == {0}
+
+
+def test_indirect_statement_stays_scalar():
+    def body(k):
+        a, b, c = k.arrays("a", "b", "c")
+        ip = k.array("ip", dtype=DType.I32)
+        i = k.loop(256)
+        a[i] = b[i] * 2.0
+        c[i] = b[ip[i]] + 1.0
+
+    plan = plan_for(body)
+    assert plan.packed_stmts == {0}
+
+
+def test_strided_store_not_packed():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(128)
+        a[2 * i] = b[i] + 1.0
+
+    plan = plan_for(body)
+    assert isinstance(plan, VectorizationFailure)
+    assert plan.reason == "no packable groups"
+
+
+def test_guarded_statements_not_packed():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(256)
+        with k.if_(b[i] > 0.0):
+            a[i] = b[i]
+
+    plan = plan_for(body)
+    assert isinstance(plan, VectorizationFailure)
+
+
+def test_reduction_packs():
+    def body(k):
+        a = k.array("a")
+        s = k.scalar("s")
+        i = k.loop(256)
+        s.set(s + a[i])
+
+    plan = plan_for(body)
+    assert isinstance(plan, VectorizationPlan)
+    assert 0 in plan.packed_stmts
+
+
+def test_private_chain_packs_together():
+    def body(k):
+        a, b, c = k.arrays("a", "b", "c")
+        t = k.scalar("t")
+        i = k.loop(256)
+        t.set(b[i] + c[i])
+        a[i] = t * t
+
+    plan = plan_for(body)
+    assert plan.packed_stmts == {0, 1}
+
+
+def test_private_consumed_by_guard_blocks_packing():
+    def body(k):
+        a, b, c = k.arrays("a", "b", "c")
+        t = k.scalar("t")
+        i = k.loop(256)
+        t.set(b[i] + c[i])
+        a[i] = t * 2.0
+        with k.if_(t > 0.0):
+            c[i] = 1.0
+
+    plan = plan_for(body)
+    # t leaks into scalar-side control flow: nothing referencing t packs.
+    if isinstance(plan, VectorizationPlan):
+        assert 0 not in plan.packed_stmts
+        assert 1 not in plan.packed_stmts
+    else:
+        assert plan.reason == "no packable groups"
+
+
+def test_illegal_dependences_still_rejected():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(256)
+        a[i] = a[i - 1] + b[i]
+
+    plan = plan_for(body)
+    assert isinstance(plan, VectorizationFailure)
+    assert plan.reason == "unsafe memory dependence"
+
+
+def test_trip_below_factor_rejected():
+    def body(k):
+        a = k.array("a", extents=(16,))
+        i = k.loop(4)
+        a[i] = a[i] + 1.0
+
+    plan = plan_for(body, X86_AVX2)  # VF 8 > trip 4
+    assert isinstance(plan, VectorizationFailure)
+
+
+def test_lowered_stream_shape_partial():
+    def body(k):
+        a, b, c = k.arrays("a", "b", "c")
+        ip = k.array("ip", dtype=DType.I32)
+        i = k.loop(256)
+        a[i] = b[i] * 2.0
+        c[i] = b[ip[i]] + 1.0
+
+    kern = build("t", body)
+    plan = slp_vectorize(kern, X86_AVX2)
+    stream = lower_slp(plan, X86_AVX2)
+    counts = stream.counts()
+    # Packed statement: one vector mul/store; scalar side: 8 copies.
+    vec_stores = [i_ for i_ in stream.body if i_.iclass is IClass.STORE and i_.lanes == 8]
+    scalar_stores = [i_ for i_ in stream.body if i_.iclass is IClass.STORE and i_.lanes == 1]
+    assert len(vec_stores) == 1
+    assert len(scalar_stores) == 8
+    assert stream.elems_per_iter == 8
+
+
+def test_remainder_recorded():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(250)  # 250 % 8 = 2
+        a[i] = b[i] + 1.0
+
+    kern = build("t", body)
+    plan = slp_vectorize(kern, X86_AVX2)
+    stream = lower_slp(plan, X86_AVX2)
+    assert stream.iters == 31
+    assert stream.remainder == 2
+
+
+def test_neon_slp_vf4():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(256)
+        a[i] = b[i] + 1.0
+
+    plan = plan_for(body, ARMV8_NEON)
+    assert isinstance(plan, VectorizationPlan)
+    assert plan.vf == 4

@@ -1,0 +1,122 @@
+"""Extension-target (ARMv9 SVE) tests: capabilities, lowering, study."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import lower_vector
+from repro.costmodel import RatedSpeedupModel, predict_all
+from repro.experiments import DatasetSpec, build_dataset
+from repro.fitting import NonNegativeLeastSquares
+from repro.ir import DType
+from repro.sim import measure_kernel
+from repro.targets import ARMV9_SVE, get_target
+from repro.targets.classes import IClass
+from repro.tsvc import get_kernel
+from repro.validation import pearson
+from repro.vectorize import vectorize_loop
+
+from tests.helpers import SMALL, build
+
+
+def test_registry_and_aliases():
+    assert get_target("sve") is ARMV9_SVE
+    assert get_target("armv9") is ARMV9_SVE
+    assert ARMV9_SVE.vector_bits == 256
+
+
+def test_capability_profile():
+    assert ARMV9_SVE.has_gather
+    assert ARMV9_SVE.has_scatter
+    assert ARMV9_SVE.has_masked_mem
+
+
+def test_gather_lowered_as_hardware_instruction():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        ip = k.array("ip", dtype=DType.I32)
+        i = k.loop(256)
+        a[i] = b[ip[i]] + 1.0
+
+    kern = build("t", body)
+    plan = vectorize_loop(kern, ARMV9_SVE)
+    counts = lower_vector(plan, ARMV9_SVE).counts()
+    assert counts[IClass.GATHER] == 1
+    assert IClass.INSERT not in counts
+
+
+def test_scatter_lowered_as_hardware_instruction():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        ip = k.array("ip", dtype=DType.I32)
+        i = k.loop(256)
+        a[ip[i]] = b[i]
+
+    kern = build("t", body)
+    counts = lower_vector(vectorize_loop(kern, ARMV9_SVE), ARMV9_SVE).counts()
+    assert counts[IClass.SCATTER] == 1
+    assert IClass.EXTRACT not in counts
+
+
+def test_masked_store_is_native():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(256)
+        with k.if_(b[i] > 0.0):
+            a[i] = b[i]
+
+    kern = build("t", body)
+    counts = lower_vector(vectorize_loop(kern, ARMV9_SVE), ARMV9_SVE).counts()
+    assert counts[IClass.MASKSTORE] == 1
+    assert IClass.BLEND not in counts  # no load+blend+store dance
+
+
+def test_vf8_for_f32():
+    kern = get_kernel("s000", SMALL)
+    plan = vectorize_loop(kern, ARMV9_SVE)
+    assert plan.vf == 8
+
+
+def test_functional_equivalence_on_sve():
+    from repro.sim.executor import make_buffers, run_scalar, run_vector
+    from tests.helpers import assert_buffers_close, copy_buffers
+
+    for name in ("s000", "vag", "s491", "s271", "s314"):
+        kern = get_kernel(name, SMALL)
+        plan = vectorize_loop(kern, ARMV9_SVE)
+        if hasattr(plan, "reason"):
+            continue
+        b1 = make_buffers(kern, seed=3)
+        b2 = copy_buffers(b1)
+        run_scalar(kern, b1)
+        run_vector(plan, b2)
+        assert_buffers_close(b1, b2, context=f"sve:{name}")
+
+
+def test_sve_study_fits():
+    ds = build_dataset(DatasetSpec("armv9-sve", "llv"))
+    assert len(ds.samples) >= 80
+    model = RatedSpeedupModel(NonNegativeLeastSquares()).fit(ds.samples)
+    r = pearson(predict_all(model, ds.samples), ds.measured)
+    assert r > 0.5
+
+
+def test_cross_target_transfer_loses_to_native():
+    from repro.experiments import ARM_LLV
+
+    neon_ds = build_dataset(ARM_LLV)
+    sve_ds = build_dataset(DatasetSpec("armv9-sve", "llv"))
+    native = RatedSpeedupModel(NonNegativeLeastSquares()).fit(sve_ds.samples)
+    transferred = RatedSpeedupModel(NonNegativeLeastSquares()).fit(neon_ds.samples)
+    r_native = pearson(predict_all(native, sve_ds.samples), sve_ds.measured)
+    r_transfer = pearson(predict_all(transferred, sve_ds.samples), sve_ds.measured)
+    assert r_native > r_transfer  # cost models are per-target artifacts
+
+
+def test_wider_lanes_more_memory_bound():
+    from repro.experiments import ARM_LLV
+
+    neon_ds = build_dataset(ARM_LLV)
+    sve_ds = build_dataset(DatasetSpec("armv9-sve", "llv"))
+    neon_frac = np.mean([s.vector_bound == "memory" for s in neon_ds.samples])
+    sve_frac = np.mean([s.vector_bound == "memory" for s in sve_ds.samples])
+    assert sve_frac > neon_frac

@@ -1,0 +1,140 @@
+"""Target machine-description tests."""
+
+import pytest
+
+from repro.ir.types import DType
+from repro.targets import (
+    ARMV8_NEON,
+    GENERIC_IR,
+    Target,
+    TargetError,
+    X86_AVX2,
+    available_targets,
+    get_target,
+    register_target,
+)
+from repro.targets.base import CacheHierarchy, CacheLevel, InstrTiming
+from repro.targets.classes import FEATURE_ORDER, IClass, feature_index
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_target("armv8-neon") is ARMV8_NEON
+        assert get_target("x86-avx2") is X86_AVX2
+
+    @pytest.mark.parametrize(
+        "alias,name",
+        [
+            ("arm", "armv8-neon"),
+            ("neon", "armv8-neon"),
+            ("ARM", "armv8-neon"),
+            ("x86", "x86-avx2"),
+            ("avx2", "x86-avx2"),
+        ],
+    )
+    def test_aliases(self, alias, name):
+        assert get_target(alias).name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown target"):
+            get_target("sparc")
+
+    def test_available(self):
+        assert set(available_targets()) >= {"armv8-neon", "x86-avx2"}
+
+    def test_register_custom(self):
+        custom = Target(
+            name="test-scalar-only",
+            vector_bits=64,
+            issue_width=1,
+            ports={"all": 1},
+            timings={(IClass.ADD, "s"): InstrTiming(1, 1, "all")},
+        )
+        register_target(custom, "tso")
+        assert get_target("tso") is custom
+
+
+class TestLanesAndTiming:
+    def test_lane_counts(self):
+        assert ARMV8_NEON.lanes(DType.F32) == 4
+        assert ARMV8_NEON.lanes(DType.F64) == 2
+        assert X86_AVX2.lanes(DType.F32) == 8
+        assert X86_AVX2.lanes(DType.I64) == 4
+
+    def test_timing_form_selection(self):
+        s = ARMV8_NEON.timing(IClass.LOAD, DType.F32, 1)
+        v = ARMV8_NEON.timing(IClass.LOAD, DType.F32, 4)
+        assert s.latency != v.latency or s.port == v.port
+
+    def test_int_overrides(self):
+        fp = ARMV8_NEON.timing(IClass.ADD, DType.F32, 1)
+        it = ARMV8_NEON.timing(IClass.ADD, DType.I32, 1)
+        assert it.latency < fp.latency
+        assert it.port == "int"
+
+    def test_f64_slow_classes_scaled(self):
+        f32 = ARMV8_NEON.timing(IClass.DIV, DType.F32, 4)
+        f64 = ARMV8_NEON.timing(IClass.DIV, DType.F64, 4)
+        assert f64.latency > f32.latency
+        assert f64.occupancy > f32.occupancy
+
+    def test_f64_regular_classes_not_scaled(self):
+        f32 = ARMV8_NEON.timing(IClass.ADD, DType.F32, 4)
+        f64 = ARMV8_NEON.timing(IClass.ADD, DType.F64, 4)
+        assert f64.latency == f32.latency
+
+    def test_missing_timing_raises(self):
+        with pytest.raises(TargetError):
+            ARMV8_NEON.timing(IClass.GATHER, DType.F32, 4)  # no NEON gather
+
+    def test_unknown_port_raises(self):
+        with pytest.raises(TargetError):
+            ARMV8_NEON.port_count("gpu")
+
+
+class TestCapabilities:
+    def test_neon_capability_profile(self):
+        t = ARMV8_NEON
+        assert not t.has_gather and not t.has_scatter and not t.has_masked_mem
+        assert t.scalarize_calls
+
+    def test_avx2_capability_profile(self):
+        t = X86_AVX2
+        assert t.has_gather and t.has_masked_mem and not t.has_scatter
+
+    def test_generic_ir_has_everything(self):
+        t = GENERIC_IR
+        assert t.has_gather and t.has_scatter and t.has_masked_mem
+        assert not t.scalarize_calls
+
+
+class TestCache:
+    def test_bandwidth_monotone_with_working_set(self):
+        c = ARMV8_NEON.cache
+        bws = [
+            c.bandwidth_for(1024),
+            c.bandwidth_for(512 * 1024),
+            c.bandwidth_for(128 * 1024 * 1024),
+        ]
+        assert bws[0] > bws[1] > bws[2]
+
+    def test_level_names(self):
+        c = ARMV8_NEON.cache
+        assert c.level_for(1024) == "L1"
+        assert c.level_for(512 * 1024) == "L2"
+        assert c.level_for(1 << 30) == "DRAM"
+
+    def test_x86_has_l3(self):
+        assert X86_AVX2.cache.level_for(4 * 1024 * 1024) == "L3"
+
+
+class TestFeatureOrder:
+    def test_covers_all_classes(self):
+        assert set(FEATURE_ORDER) == set(IClass)
+
+    def test_index_roundtrip(self):
+        for c in IClass:
+            assert FEATURE_ORDER[feature_index(c)] is c
+
+    def test_stable_length(self):
+        assert len(FEATURE_ORDER) == len(IClass) == 24

@@ -1,0 +1,174 @@
+"""Timing-model tests on hand-built instruction streams."""
+
+import pytest
+
+from repro.codegen.minstr import MStream, StreamBuilder
+from repro.ir.types import DType
+from repro.sim.timing import (
+    analyze_stream,
+    memory_bound,
+    overhead_cycles,
+    recurrence_bound,
+    resource_bound,
+)
+from repro.targets import ARMV8_NEON, X86_AVX2
+from repro.targets.classes import IClass
+
+
+def stream_with(emits, iters=100, ws=1024):
+    b = StreamBuilder("t")
+    for args in emits:
+        b.emit(*args[0], **args[1])
+    s = b.stream
+    s.iters = iters
+    s.working_set_bytes = ws
+    return s
+
+
+def _e(iclass, dtype=DType.F32, **kw):
+    return ((iclass, dtype), kw)
+
+
+class TestResourceBound:
+    def test_single_port_saturation(self):
+        # Two loads on ARM's single load port -> 2 cycles/iter.
+        s = stream_with([_e(IClass.LOAD), _e(IClass.LOAD)])
+        assert resource_bound(s.body, ARMV8_NEON) == pytest.approx(2.0)
+
+    def test_two_fp_pipes_share(self):
+        s = stream_with([_e(IClass.ADD), _e(IClass.ADD)])
+        assert resource_bound(s.body, ARMV8_NEON) == pytest.approx(1.0)
+
+    def test_issue_width_limits(self):
+        # 6 int adds on ARM: int ports bound 6/2 = 3; issue 6/3 = 2.
+        s = stream_with([_e(IClass.ADD, DType.I32)] * 6)
+        assert resource_bound(s.body, ARMV8_NEON) == pytest.approx(3.0)
+
+    def test_weights_scale_occupancy(self):
+        s = stream_with([_e(IClass.LOAD, weight=0.5), _e(IClass.LOAD, weight=0.5)])
+        assert resource_bound(s.body, ARMV8_NEON) == pytest.approx(1.0)
+
+    def test_div_occupancy(self):
+        # Scalar f32 div occupies the fp port for 7 cycles (2 pipes).
+        s = stream_with([_e(IClass.DIV)])
+        assert resource_bound(s.body, ARMV8_NEON) == pytest.approx(3.5)
+
+    def test_monotone_in_instruction_count(self):
+        small = stream_with([_e(IClass.ADD)] * 2)
+        big = stream_with([_e(IClass.ADD)] * 8)
+        assert resource_bound(big.body, ARMV8_NEON) > resource_bound(
+            small.body, ARMV8_NEON
+        )
+
+
+class TestRecurrenceBound:
+    def test_self_carried_reduction(self):
+        b = StreamBuilder("t")
+        add = b.emit(IClass.ADD, DType.F32)
+        b.add_carried(add, add, 1)
+        # f32 add latency 4 on the NEON model.
+        assert recurrence_bound(b.stream.body, ARMV8_NEON) == pytest.approx(4.0)
+
+    def test_distance_divides(self):
+        b = StreamBuilder("t")
+        add = b.emit(IClass.ADD, DType.F32)
+        b.add_carried(add, add, 4)
+        assert recurrence_bound(b.stream.body, ARMV8_NEON) == pytest.approx(1.0)
+
+    def test_memory_chain(self):
+        # load -> add -> store, store feeds next iteration's load.
+        b = StreamBuilder("t")
+        ld = b.emit(IClass.LOAD, DType.F32)
+        add = b.emit(IClass.ADD, DType.F32, srcs=(ld,))
+        st = b.emit(IClass.STORE, DType.F32, srcs=(add,))
+        b.add_carried(ld, st, 1)
+        # 4 (load) + 4 (add) + 1 (store) = 9 cycles per iteration.
+        assert recurrence_bound(b.stream.body, ARMV8_NEON) == pytest.approx(9.0)
+
+    def test_no_return_path_no_cycle(self):
+        # The carried consumer's value never reaches the producer.
+        b = StreamBuilder("t")
+        ld = b.emit(IClass.LOAD, DType.F32)
+        st = b.emit(IClass.STORE, DType.F32)  # independent of ld
+        b.add_carried(ld, st, 1)
+        assert recurrence_bound(b.stream.body, ARMV8_NEON) == 0.0
+
+    def test_longest_path_wins(self):
+        b = StreamBuilder("t")
+        ld = b.emit(IClass.LOAD, DType.F32)
+        short = b.emit(IClass.ADD, DType.F32, srcs=(ld,))
+        long1 = b.emit(IClass.DIV, DType.F32, srcs=(ld,))
+        st = b.emit(IClass.STORE, DType.F32, srcs=(short, long1))
+        b.add_carried(ld, st, 1)
+        # Path through the divide: 4 + 13 + 1 = 18.
+        assert recurrence_bound(b.stream.body, ARMV8_NEON) == pytest.approx(18.0)
+
+
+class TestMemoryBound:
+    def test_l1_resident(self):
+        s = stream_with([_e(IClass.LOAD, traffic=16, mem_array="", mem_stride=None)], ws=1024)
+        # L1 bandwidth on the ARM model is 32 B/cycle.
+        assert memory_bound(s, ARMV8_NEON) == pytest.approx(16 / 32)
+
+    def test_larger_working_set_slower(self):
+        mk = lambda ws: stream_with(
+            [_e(IClass.LOAD, traffic=32, mem_array="", mem_stride=None)], ws=ws
+        )
+        l1 = memory_bound(mk(1024), ARMV8_NEON)
+        l2 = memory_bound(mk(512 * 1024), ARMV8_NEON)
+        dram = memory_bound(mk(64 * 1024 * 1024), ARMV8_NEON)
+        assert l1 < l2 < dram
+
+    def test_group_traffic_shared(self):
+        # 4 accesses covering consecutive offsets at stride 4: one
+        # 16-byte window, not 4 cache lines.
+        emits = [
+            _e(IClass.LOAD, mem_array="a", mem_stride=4) for _ in range(4)
+        ]
+        s = stream_with(emits)
+        assert s.bytes_per_iter() == pytest.approx(16.0)
+
+    def test_sparse_group_capped_by_lines(self):
+        s = stream_with([_e(IClass.LOAD, mem_array="a", mem_stride=1000)])
+        assert s.bytes_per_iter() == pytest.approx(64.0)  # one line
+
+    def test_loads_and_stores_separate_groups(self):
+        emits = [
+            _e(IClass.LOAD, mem_array="a", mem_stride=1),
+            _e(IClass.STORE, mem_array="a", mem_stride=1),
+        ]
+        s = stream_with(emits)
+        assert s.bytes_per_iter() == pytest.approx(8.0)
+
+
+class TestBreakdown:
+    def test_total_includes_overhead(self):
+        b = StreamBuilder("t")
+        b.in_prologue()
+        b.emit(IClass.BROADCAST, DType.F32, lanes=4)
+        b.in_body()
+        b.emit(IClass.ADD, DType.F32, lanes=4)
+        b.in_epilogue()
+        b.emit(IClass.REDUCE, DType.F32, lanes=4)
+        s = b.stream
+        s.iters = 10
+        s.working_set_bytes = 100
+        br = analyze_stream(s, ARMV8_NEON)
+        assert br.overhead == pytest.approx(5 + 8)  # broadcast + reduce latency
+        assert br.total == pytest.approx(br.overhead + 10 * br.per_iter)
+
+    def test_bound_labels(self):
+        b = StreamBuilder("t")
+        add = b.emit(IClass.ADD, DType.F32)
+        s = b.stream
+        s.iters = 1
+        s.working_set_bytes = 100
+        assert analyze_stream(s, ARMV8_NEON).bound == "compute"
+        b.add_carried(add, add, 1)
+        assert analyze_stream(s, ARMV8_NEON).bound == "recurrence"
+
+    def test_cycles_positive(self):
+        s = stream_with([_e(IClass.ADD)])
+        br = analyze_stream(s, X86_AVX2)
+        assert br.per_iter > 0
+        assert br.total > 0

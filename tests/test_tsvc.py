@@ -1,0 +1,133 @@
+"""TSVC suite integrity tests: size, structure, and verdict spot checks."""
+
+import pytest
+
+from repro.targets import ARMV8_NEON, X86_AVX2
+from repro.tsvc import (
+    Dims,
+    all_kernels,
+    get_entry,
+    get_kernel,
+    kernel_names,
+    kernels_by_category,
+    suite_size,
+)
+from repro.vectorize import vectorize_loop
+from repro.vectorize.plan import VectorizationFailure, VectorizationPlan
+
+from tests.helpers import SMALL
+
+
+class TestSuiteIntegrity:
+    def test_exactly_151_kernels(self):
+        # The paper evaluates "151 basic loop patterns".
+        assert suite_size() == 151
+
+    def test_all_build_and_verify(self):
+        assert sum(1 for _ in all_kernels()) == 151
+
+    def test_names_unique_and_sorted(self):
+        names = kernel_names()
+        assert len(names) == len(set(names)) == 151
+
+    def test_well_known_names_present(self):
+        names = set(kernel_names())
+        for expected in (
+            "s000", "s111", "s1119", "s128", "s176", "s211", "s2244",
+            "s273", "s311", "s314", "s319", "s332", "s352", "s491",
+            "s4117", "va", "vbor", "vsumr",
+        ):
+            assert expected in names
+
+    def test_categories_nonempty(self):
+        cats = kernels_by_category()
+        assert len(cats) >= 20
+        assert all(v for v in cats.values())
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            get_kernel("s9999")
+
+    def test_dims_scaling(self):
+        small = get_kernel("s000", SMALL)
+        assert small.inner.trip == SMALL.n
+        assert small.arrays["a"].extents == (SMALL.n,)
+        std = get_kernel("s000")
+        assert std.inner.trip == 32000
+
+    def test_dims_validation(self):
+        with pytest.raises(ValueError):
+            Dims(n=100)  # not a multiple of 8
+        with pytest.raises(ValueError):
+            Dims(n=16)  # too small
+
+    def test_notes_on_approximated_kernels(self):
+        for name in ("s123", "s141", "s332", "s471", "s481"):
+            assert get_entry(name).notes, f"{name} should document its approximation"
+
+    def test_kernel_cache_per_dims(self):
+        k1 = get_kernel("s000")
+        k2 = get_kernel("s000")
+        assert k1 is k2
+        k3 = get_kernel("s000", SMALL)
+        assert k3 is not k1
+
+
+#: Kernels LLV must vectorize on NEON, by construction of the suite.
+EXPECT_VECTORIZABLE = [
+    "s000", "s111", "s112", "s1119", "s119", "s124", "s127", "s128",
+    "s131", "s152", "s173", "s271", "s274", "s278", "s311", "s312",
+    "s313", "s314", "s319", "s3111", "s351", "s352", "s421", "s423",
+    "s491", "s4112", "s4115", "va", "vag", "vas", "vif", "vbor",
+    "vsumr", "vdotr", "s2244", "s3251", "s1281", "s291",
+]
+
+#: Kernels that must NOT vectorize (serial recurrences, unknown deps,
+#: compress patterns, early exits, …).
+EXPECT_NOT_VECTORIZABLE = [
+    "s113", "s114", "s115", "s116", "s123", "s126", "s141", "s162",
+    "s211", "s212", "s221", "s222", "s231", "s242", "s252", "s253",
+    "s254", "s258", "s281", "s293", "s315", "s318", "s321", "s322",
+    "s323", "s331", "s332", "s341", "s342", "s343", "s453", "s471",
+    "s481", "s482", "s3110", "s3112", "s2111",
+]
+
+
+@pytest.mark.parametrize("name", EXPECT_VECTORIZABLE)
+def test_expected_vectorizable_on_neon(name):
+    plan = vectorize_loop(get_kernel(name, SMALL), ARMV8_NEON)
+    assert isinstance(plan, VectorizationPlan), f"{name}: {plan}"
+
+
+@pytest.mark.parametrize("name", EXPECT_NOT_VECTORIZABLE)
+def test_expected_not_vectorizable_on_neon(name):
+    plan = vectorize_loop(get_kernel(name, SMALL), ARMV8_NEON)
+    assert isinstance(plan, VectorizationFailure), f"{name} unexpectedly vectorized"
+
+
+class TestTargetDependentVerdicts:
+    def test_s1221_distance4_splits_targets(self):
+        """b[i+4] = b[i] + …: legal at VF 4 (NEON), illegal at VF 8 (AVX2)."""
+        kern = get_kernel("s1221", SMALL)
+        assert isinstance(vectorize_loop(kern, ARMV8_NEON), VectorizationPlan)
+        assert isinstance(vectorize_loop(kern, X86_AVX2), VectorizationFailure)
+
+    def test_s424_distance4_splits_targets(self):
+        kern = get_kernel("s424", SMALL)
+        assert isinstance(vectorize_loop(kern, ARMV8_NEON), VectorizationPlan)
+        assert isinstance(vectorize_loop(kern, X86_AVX2), VectorizationFailure)
+
+    def test_s422_distance8_legal_both(self):
+        kern = get_kernel("s422", SMALL)
+        assert isinstance(vectorize_loop(kern, ARMV8_NEON), VectorizationPlan)
+        assert isinstance(vectorize_loop(kern, X86_AVX2), VectorizationPlan)
+
+
+class TestVectorizationRate:
+    def test_roughly_sixty_percent_vectorize_on_neon(self):
+        """LLVM 6.0 vectorized roughly half to two-thirds of TSVC."""
+        ok = 0
+        for kern in all_kernels(SMALL):
+            if isinstance(vectorize_loop(kern, ARMV8_NEON), VectorizationPlan):
+                ok += 1
+        assert 75 <= ok <= 110, f"{ok}/151 vectorized"

@@ -1,0 +1,151 @@
+"""Loop unrolling tests: structure and functional equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Affine, DType, ScalarAssign
+from repro.sim.executor import make_buffers, run_scalar
+from repro.vectorize import UnrollError, unroll
+
+from tests.helpers import assert_buffers_close, build, copy_buffers
+
+
+def test_structure():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(100)
+        a[i] = b[i] + 1.0
+
+    u = unroll(build("t", body), 4)
+    assert u.inner.trip == 25
+    assert len(u.body) == 4
+    # Copy u's store subscript is 4*i + u.
+    for copy_idx, stmt in enumerate(u.body):
+        assert stmt.subscript == (Affine((4,), copy_idx),)
+
+
+def test_outer_loop_untouched():
+    def body(k):
+        aa = k.array2("aa")
+        i = k.loop(16)
+        j = k.loop(16)
+        aa[i, j] = aa[i, j] * 2.0
+
+    u = unroll(build("t", body), 2)
+    assert u.loops[0].trip == 16
+    assert u.loops[1].trip == 8
+
+
+def test_private_scalars_renamed():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        t = k.scalar("t")
+        i = k.loop(100)
+        t.set(a[i] + b[i])
+        a[i] = t * t
+
+    u = unroll(build("t", body), 2)
+    names = {s.name for s in u.body if isinstance(s, ScalarAssign)}
+    assert names == {"t__u0", "t__u1"}
+    assert "t__u0" in u.scalars and "t__u1" in u.scalars
+
+
+def test_reduction_scalar_shared():
+    def body(k):
+        a = k.array("a")
+        s = k.scalar("s")
+        i = k.loop(100)
+        s.set(s + a[i])
+
+    u = unroll(build("t", body), 4)
+    names = [s.name for s in u.body if isinstance(s, ScalarAssign)]
+    assert names == ["s"] * 4
+
+
+def test_indirect_subscript_shifted():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        ip = k.array("ip", dtype=DType.I32)
+        i = k.loop(100)
+        a[i] = b[ip[i]]
+
+    u = unroll(build("t", body), 2)
+    from repro.ir import Indirect
+
+    subs = [
+        ld.subscript[0]
+        for ld in u.loads()
+        if ld.array == "b"
+    ]
+    assert Indirect("ip", Affine((2,), 0)) in subs
+    assert Indirect("ip", Affine((2,), 1)) in subs
+
+
+def test_iter_value_rewritten():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(100)
+        a[i] = b[i] * (i + 0)
+
+    u = unroll(build("t", body), 2)
+    # Copy 1 must compute 2*i' + 1 as the value of i.
+    assert "2" in str(u.body[1])
+
+
+@pytest.mark.parametrize("factor", [2, 4, 5])
+def test_functional_equivalence(factor):
+    def body(k):
+        a, b, c = k.arrays("a", "b", "c", )
+        t = k.scalar("t")
+        s = k.scalar("s")
+        i = k.loop(120)
+        t.set(b[i] * c[i])
+        a[i] = t + b[i - 1]
+        s.set(s + a[i])
+
+    kern = build("t", body)
+    u = unroll(kern, factor)
+    bufs1 = make_buffers(kern, seed=1)
+    bufs2 = copy_buffers(bufs1)
+    r1 = run_scalar(kern, bufs1)
+    r2 = run_scalar(u, bufs2)
+    assert_buffers_close(bufs1, bufs2, context=f"unroll x{factor}")
+    assert float(r1.scalars["s"]) == pytest.approx(float(r2.scalars["s"]), rel=1e-4)
+
+
+def test_guarded_body_equivalence():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(64)
+        with k.if_(b[i] > 0.0):
+            a[i] = b[i] * 2.0
+        with k.else_():
+            a[i] = -b[i]
+
+    kern = build("t", body)
+    u = unroll(kern, 4)
+    bufs1 = make_buffers(kern, seed=2)
+    bufs2 = copy_buffers(bufs1)
+    run_scalar(kern, bufs1)
+    run_scalar(u, bufs2)
+    assert_buffers_close(bufs1, bufs2, context="guarded unroll")
+
+
+def test_factor_must_divide():
+    def body(k):
+        a = k.array("a")
+        i = k.loop(100)
+        a[i] = a[i] + 1.0
+
+    with pytest.raises(UnrollError, match="divisible"):
+        unroll(build("t", body), 3)
+
+
+def test_factor_must_be_at_least_two():
+    def body(k):
+        a = k.array("a")
+        i = k.loop(100)
+        a[i] = a[i] + 1.0
+
+    with pytest.raises(UnrollError):
+        unroll(build("t", body), 1)
