@@ -114,3 +114,44 @@ def test_bench_loocv(benchmark, arm_dataset):
 
     preds = benchmark(loocv)
     assert len(preds) == len(samples)
+
+
+def test_bench_loocv_l2_fast_path(benchmark, arm_dataset):
+    """Hat-matrix LOOCV: one factorization instead of N refits."""
+    samples = arm_dataset.samples
+
+    def loocv():
+        return loocv_predictions(
+            lambda: RatedSpeedupModel(LeastSquares()), samples
+        )
+
+    preds = benchmark(loocv)
+    assert len(preds) == len(samples)
+
+
+def test_bench_fingerprint(benchmark):
+    from repro.pipeline import measurement_fingerprint
+
+    kern = get_kernel("s273")
+
+    def fingerprint():
+        return measurement_fingerprint(kern, "armv8-neon", "llv", 0.02, 0)
+
+    fp = benchmark(fingerprint)
+    assert len(fp) == 64
+
+
+def test_bench_cache_roundtrip(benchmark, arm_dataset, tmp_path_factory):
+    from repro.pipeline import MeasurementCache, measurement_fingerprint
+
+    cache = MeasurementCache(root=tmp_path_factory.mktemp("micro-cache"))
+    kern = get_kernel("s000")
+    fp = measurement_fingerprint(kern, "armv8-neon", "llv", 0.02, 0)
+    payload = (arm_dataset.samples[0], None)
+
+    def roundtrip():
+        cache.put(fp, payload)
+        return cache.get(fp)
+
+    sample, reason = benchmark(roundtrip)
+    assert reason is None and sample.name == "s000"

@@ -1,0 +1,177 @@
+"""Pipeline perf smoke: times the measurement pipeline end to end and
+emits a ``BENCH_pipeline.json`` artifact for cross-PR trajectory
+tracking.
+
+    PYTHONPATH=src python benchmarks/smoke_pipeline.py [--out PATH]
+        [--workers N] [--repeat K] [--pytest-bench]
+
+Measured (best of ``--repeat`` runs, full ARM+x86 suite sweep):
+
+* ``cold_serial_s``    — uncached build, one process;
+* ``cold_parallel_s``  — uncached build, ``--workers`` processes;
+* ``warm_cache_s``     — rebuild served from the persistent cache;
+* ``loocv_refit_s`` / ``loocv_fast_s`` — L2 LOOCV, refit loop vs
+  hat-matrix fast path, on the ARM dataset.
+
+``--pytest-bench`` additionally runs the two pytest-benchmark files
+(``bench_pipeline_micro.py``, ``bench_dataset_build.py``) and embeds
+their stats under ``pytest_benchmarks``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.costmodel import RatedSpeedupModel  # noqa: E402
+from repro.experiments import ARM_LLV, X86_SLP, build_dataset  # noqa: E402
+from repro.fitting import LeastSquares  # noqa: E402
+from repro.pipeline import MeasurementCache, measure_suite  # noqa: E402
+from repro.validation import loocv_predictions  # noqa: E402
+
+BOTH_SPECS = (ARM_LLV, X86_SLP)
+
+
+def best_of(repeat: int, fn) -> float:
+    times = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def sweep_both(workers: int, cache: MeasurementCache) -> int:
+    total = 0
+    for spec in BOTH_SPECS:
+        samples, failures = measure_suite(spec, workers=workers, cache=cache)
+        total += len(samples) + len(failures)
+    return total
+
+
+def run_pytest_benchmarks() -> dict:
+    """Run the two bench files and return pytest-benchmark's stats."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "pytest_bench.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}:{env.get('PYTHONPATH', '')}"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "benchmarks/bench_pipeline_micro.py",
+                "benchmarks/bench_dataset_build.py",
+                "--benchmark-only",
+                f"--benchmark-json={out}",
+                "-q",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0 or not out.exists():
+            return {"error": (proc.stdout + proc.stderr)[-2000:]}
+        data = json.loads(out.read_text())
+    return {
+        b["name"]: {
+            "mean_s": b["stats"]["mean"],
+            "min_s": b["stats"]["min"],
+            "rounds": b["stats"]["rounds"],
+        }
+        for b in data.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pipeline.json"))
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--pytest-bench",
+        action="store_true",
+        help="also run the pytest-benchmark files (slower)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        off = MeasurementCache(root=Path(tmp) / "off", enabled=False)
+        cold_serial = best_of(args.repeat, lambda: sweep_both(1, off))
+        cold_parallel = best_of(
+            args.repeat, lambda: sweep_both(args.workers, off)
+        )
+
+        warm = MeasurementCache(root=Path(tmp) / "warm")
+        sweep_both(1, warm)  # prime
+        warm_cache = best_of(args.repeat, lambda: sweep_both(1, warm))
+
+    samples = build_dataset(ARM_LLV).samples
+    factory = lambda: RatedSpeedupModel(LeastSquares())  # noqa: E731
+    loocv_predictions(factory, samples)  # numpy warmup
+    fast_s = best_of(args.repeat, lambda: loocv_predictions(factory, samples))
+    refit_s = best_of(
+        args.repeat, lambda: loocv_predictions(factory, samples, fast=False)
+    )
+    agree = float(
+        np.nanmax(
+            np.abs(
+                loocv_predictions(factory, samples)
+                - loocv_predictions(factory, samples, fast=False)
+            )
+        )
+    )
+
+    report = {
+        "schema": 1,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {"workers": args.workers, "repeat": args.repeat},
+        "dataset_build": {
+            "cold_serial_s": round(cold_serial, 4),
+            "cold_parallel_s": round(cold_parallel, 4),
+            "warm_cache_s": round(warm_cache, 4),
+            "parallel_speedup": round(cold_serial / cold_parallel, 2),
+            "warm_speedup": round(cold_serial / warm_cache, 2),
+        },
+        "loocv_l2": {
+            "refit_loop_s": round(refit_s, 5),
+            "fast_path_s": round(fast_s, 5),
+            "fast_speedup": round(refit_s / fast_s, 2),
+            "max_abs_difference": agree,
+        },
+    }
+    if args.pytest_bench:
+        report["pytest_benchmarks"] = run_pytest_benchmarks()
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out}")
+
+    ok = report["loocv_l2"]["max_abs_difference"] < 1e-8
+    warm_ok = report["dataset_build"]["warm_speedup"] >= 1.0
+    if not (ok and warm_ok):
+        print("SMOKE FAILURE: fast LOOCV disagrees or warm build regressed")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,6 +83,7 @@ from .fitting import LeastSquares, LinearSVR, NonNegativeLeastSquares, make_regr
 from .validation import confusion, evaluate, loocv_predictions, pearson, spearman
 from .tsvc import all_kernels, get_kernel, kernel_names, suite_size
 from .experiments import build_dataset, run_all, run_experiment
+from .pipeline import MeasurementCache, default_cache, measure_suite
 
 __version__ = "1.0.0"
 
@@ -140,5 +141,8 @@ __all__ = [
     "build_dataset",
     "run_all",
     "run_experiment",
+    "MeasurementCache",
+    "default_cache",
+    "measure_suite",
     "__version__",
 ]

@@ -8,6 +8,7 @@ from .dataset import (
     DatasetSpec,
     X86_SLP,
     build_dataset,
+    clear_dataset_memo,
 )
 from .categories import category_report, worst_categories
 from .registry import EXPERIMENTS, run_all, run_experiment
@@ -21,6 +22,7 @@ __all__ = [
     "DatasetSpec",
     "X86_SLP",
     "build_dataset",
+    "clear_dataset_memo",
     "category_report",
     "worst_categories",
     "EXPERIMENTS",

@@ -1,7 +1,9 @@
 """CLI: ``python -m repro.experiments [E1 E2 … | all] [--no-scatter]``.
 
 Runs the requested paper-figure reproductions and prints their tables
-and text scatters.
+and text scatters.  Measurement-pipeline knobs (worker processes, the
+persistent cache) are configured here and apply to every dataset the
+selected experiments build.
 """
 
 from __future__ import annotations
@@ -10,6 +12,7 @@ import argparse
 import sys
 import time
 
+from ..pipeline import configure, default_cache
 from .registry import EXPERIMENTS, run_experiment
 
 
@@ -30,6 +33,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
+    pipe = parser.add_argument_group("measurement pipeline")
+    pipe.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="measurement processes per dataset build "
+        "(default: REPRO_WORKERS env or cpu count; 1 = serial)",
+    )
+    pipe.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent measurement-cache directory "
+        "(default: REPRO_CACHE_DIR env or ~/.cache/repro-vec)",
+    )
+    pipe.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent measurement cache",
+    )
+    pipe.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete all persistent cache entries before running",
+    )
+    pipe.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print cache hit/miss statistics after the run",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -37,12 +71,23 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{eid:4s} {title}")
         return 0
 
+    configure(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        cache_enabled=False if args.no_cache else None,
+    )
+    if args.clear_cache:
+        removed = default_cache().clear()
+        print(f"[cache] cleared {removed} entries from {default_cache().root}")
+
     ids = list(EXPERIMENTS) if "all" in [i.lower() for i in args.ids] else args.ids
     for eid in ids:
         t0 = time.time()
         result = run_experiment(eid)
         print(result.to_text(include_scatter=not args.no_scatter))
         print(f"[{eid} completed in {time.time() - t0:.1f}s]\n")
+    if args.cache_stats:
+        print(f"[{default_cache().stats}]")
     return 0
 
 

@@ -5,21 +5,22 @@ for each TSVC kernel, force-vectorize (LLV on ARM, unroll+SLP on x86),
 measure scalar and vector time, and extract the block features.
 Kernels that cannot be vectorized are recorded with their reason and
 excluded from modelling, as in the paper.
+
+The sweep itself runs through :mod:`repro.pipeline` — sharded across
+worker processes and layered over the persistent measurement cache —
+with an in-memory memo on top so repeated ``build_dataset`` calls in
+one process return the same object.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
-from ..costmodel.base import Sample, sample_from_measurement
-from ..sim.measure import measure_kernel
-from ..targets.registry import get_target
-from ..tsvc.suite import all_kernels
-from ..vectorize.plan import VectorizationFailure
+from ..costmodel.base import Sample
+from ..pipeline.build import measure_suite
 
 #: Default measurement jitter (σ of the multiplicative noise); roughly
 #: the run-to-run variation of a quiesced hardware measurement.
@@ -32,10 +33,19 @@ class DatasetSpec:
     vectorizer: str = "llv"
     jitter: float = DEFAULT_JITTER
     seed: int = 0
+    #: Measurement processes (None → ``REPRO_WORKERS`` env, else
+    #: ``os.cpu_count()``).  Not part of the measurement identity:
+    #: any worker count produces bit-identical samples.
+    workers: Optional[int] = None
 
     @property
     def label(self) -> str:
         return f"{self.target}/{self.vectorizer}"
+
+    @property
+    def identity(self) -> tuple:
+        """The fields that decide the measured values."""
+        return (self.target, self.vectorizer, self.jitter, self.seed)
 
 
 #: The two configurations the paper evaluates.
@@ -48,6 +58,17 @@ class Dataset:
     spec: DatasetSpec
     samples: list[Sample]
     failures: list[tuple[str, str]] = field(default_factory=list)
+    _by_name: dict[str, Sample] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        for s in self.samples:
+            if s.name in self._by_name:
+                raise ValueError(
+                    f"duplicate kernel {s.name!r} in dataset {self.spec.label}"
+                )
+            self._by_name[s.name] = s
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -60,10 +81,12 @@ class Dataset:
         return [s.name for s in self.samples]
 
     def sample(self, name: str) -> Sample:
-        for s in self.samples:
-            if s.name == name:
-                return s
-        raise KeyError(f"kernel {name!r} not in dataset {self.spec.label}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"kernel {name!r} not in dataset {self.spec.label}"
+            ) from None
 
     def summary(self) -> str:
         sp = self.measured
@@ -75,24 +98,9 @@ class Dataset:
         )
 
 
-@lru_cache(maxsize=16)
-def _build_cached(spec: DatasetSpec) -> Dataset:
-    target = get_target(spec.target)
-    samples: list[Sample] = []
-    failures: list[tuple[str, str]] = []
-    for kern in all_kernels():
-        result = measure_kernel(
-            kern,
-            target,
-            vectorizer=spec.vectorizer,
-            jitter=spec.jitter,
-            seed=spec.seed,
-        )
-        if isinstance(result, VectorizationFailure):
-            failures.append((kern.name, result.reason))
-        else:
-            samples.append(sample_from_measurement(result))
-    return Dataset(spec, samples, failures)
+#: In-memory memo, keyed by measurement identity (worker count and
+#: cache state cannot change the values, so they are not in the key).
+_MEMO: dict[tuple, Dataset] = {}
 
 
 def build_dataset(spec: Optional[DatasetSpec] = None, **kwargs) -> Dataset:
@@ -101,4 +109,13 @@ def build_dataset(spec: Optional[DatasetSpec] = None, **kwargs) -> Dataset:
         spec = DatasetSpec(**kwargs)
     elif kwargs:
         raise TypeError("pass either a spec or keyword overrides, not both")
-    return _build_cached(spec)
+    ds = _MEMO.get(spec.identity)
+    if ds is None:
+        samples, failures = measure_suite(spec)
+        ds = _MEMO.setdefault(spec.identity, Dataset(spec, samples, failures))
+    return ds
+
+
+def clear_dataset_memo() -> None:
+    """Drop the in-process memo (persistent cache entries survive)."""
+    _MEMO.clear()

@@ -1,0 +1,44 @@
+"""Measurement pipeline: parallel suite sweeps over a persistent cache.
+
+The package the experiment layer builds datasets through — see
+DESIGN.md §"Measurement pipeline" for the architecture and
+``python -m repro.experiments --help`` for the runtime knobs.
+"""
+
+from .build import (
+    PipelineConfig,
+    configure,
+    measure_suite,
+    resolve_workers,
+)
+from .cache import (
+    MISS,
+    CacheStats,
+    MeasurementCache,
+    cache_enabled_by_env,
+    default_cache,
+    default_cache_dir,
+    set_default_cache,
+)
+from .fingerprint import (
+    PIPELINE_SCHEMA_VERSION,
+    code_digest,
+    measurement_fingerprint,
+)
+
+__all__ = [
+    "PipelineConfig",
+    "configure",
+    "measure_suite",
+    "resolve_workers",
+    "MISS",
+    "CacheStats",
+    "MeasurementCache",
+    "cache_enabled_by_env",
+    "default_cache",
+    "default_cache_dir",
+    "set_default_cache",
+    "PIPELINE_SCHEMA_VERSION",
+    "code_digest",
+    "measurement_fingerprint",
+]

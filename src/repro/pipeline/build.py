@@ -1,0 +1,190 @@
+"""The measurement sweep: suite × spec → samples, parallel and cached.
+
+``measure_suite`` is the one hot path every experiment, bench, and
+example funnels through.  It layers three accelerations over the naive
+loop while keeping its results bit-identical:
+
+1. **persistent cache** — each kernel's result is looked up by content
+   fingerprint before any work is dispatched (see :mod:`.cache`);
+2. **process parallelism** — cache misses are sharded across a
+   ``ProcessPoolExecutor``; workers receive kernel *names* and rebuild
+   from the registry, so nothing unpicklable crosses the boundary;
+3. **determinism** — per-kernel measurement noise is seeded from
+   ``crc32(kernel.name)`` independently of sweep order, so serial,
+   parallel, and cached builds all produce the same floats.
+
+Worker count resolution order: explicit argument > ``spec.workers`` >
+``configure(workers=…)`` > ``REPRO_WORKERS`` env > ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..costmodel.base import Sample, sample_from_measurement
+from ..sim.measure import measure_kernel
+from ..targets.registry import get_target
+from ..tsvc.suite import all_kernels, get_kernel
+from ..vectorize.plan import VectorizationFailure
+from .cache import MISS, MeasurementCache, default_cache
+from .fingerprint import measurement_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..experiments.dataset import DatasetSpec
+
+
+@dataclass
+class PipelineConfig:
+    """Process-wide overrides, settable from the CLI (``--workers`` …)."""
+
+    workers: Optional[int] = None
+    cache_dir: Optional[str] = None
+    cache_enabled: Optional[bool] = None
+
+
+_CONFIG = PipelineConfig()
+
+
+def configure(
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    cache_enabled: Optional[bool] = None,
+) -> PipelineConfig:
+    """Set process-wide pipeline defaults; ``None`` leaves a field alone."""
+    from .cache import set_default_cache
+
+    if workers is not None:
+        _CONFIG.workers = workers
+    if cache_dir is not None or cache_enabled is not None:
+        if cache_dir is not None:
+            _CONFIG.cache_dir = cache_dir
+        if cache_enabled is not None:
+            _CONFIG.cache_enabled = cache_enabled
+        cache = default_cache()
+        set_default_cache(
+            MeasurementCache(
+                root=_CONFIG.cache_dir or cache.root,
+                enabled=(
+                    _CONFIG.cache_enabled
+                    if _CONFIG.cache_enabled is not None
+                    else cache.enabled
+                ),
+            )
+        )
+    return _CONFIG
+
+
+def resolve_workers(explicit: Optional[int] = None) -> int:
+    """Worker-count policy; always at least 1."""
+    for candidate in (explicit, _CONFIG.workers):
+        if candidate is not None:
+            return max(1, int(candidate))
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+#: What one kernel's sweep cell resolves to: the model-facing sample,
+#: or the reason vectorization was refused.
+Payload = tuple[Optional[Sample], Optional[str]]
+
+
+def _measure_named(
+    name: str,
+    target_name: str,
+    vectorizer: str,
+    jitter: float,
+    seed: int,
+) -> Payload:
+    """Measure one kernel looked up by name (process-pool entry point)."""
+    result = measure_kernel(
+        get_kernel(name),
+        get_target(target_name),
+        vectorizer=vectorizer,
+        jitter=jitter,
+        seed=seed,
+    )
+    if isinstance(result, VectorizationFailure):
+        return None, result.reason
+    return sample_from_measurement(result), None
+
+
+def _worker(args: tuple) -> tuple[str, Payload]:
+    name, target_name, vectorizer, jitter, seed = args
+    return name, _measure_named(name, target_name, vectorizer, jitter, seed)
+
+
+def measure_suite(
+    spec: "DatasetSpec",
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[MeasurementCache] = None,
+) -> tuple[list[Sample], list[tuple[str, str]]]:
+    """Sweep the whole TSVC suite for one measurement spec.
+
+    Returns ``(samples, failures)`` in suite registration order —
+    independent of worker count and cache state.
+    """
+    get_target(spec.target)  # validate the spec before any work
+    if cache is None:
+        cache = default_cache()
+    workers = resolve_workers(workers if workers is not None else spec.workers)
+
+    kernels = list(all_kernels())
+    results: dict[str, Payload] = {}
+    pending: list[str] = []
+    fingerprints: dict[str, str] = {}
+    for kern in kernels:
+        fp = measurement_fingerprint(
+            kern, spec.target, spec.vectorizer, spec.jitter, spec.seed
+        )
+        fingerprints[kern.name] = fp
+        payload = cache.get(fp)
+        if payload is MISS:
+            pending.append(kern.name)
+        else:
+            results[kern.name] = payload
+
+    if pending:
+        for name, payload in _run_pending(spec, pending, workers):
+            results[name] = payload
+            cache.put(fingerprints[name], payload)
+
+    samples: list[Sample] = []
+    failures: list[tuple[str, str]] = []
+    for kern in kernels:
+        sample, reason = results[kern.name]
+        if sample is None:
+            failures.append((kern.name, reason))
+        else:
+            samples.append(sample)
+    return samples, failures
+
+
+def _run_pending(
+    spec: "DatasetSpec", names: list[str], workers: int
+):
+    """Yield ``(name, payload)`` for every uncached kernel."""
+    args = [
+        (name, spec.target, spec.vectorizer, spec.jitter, spec.seed)
+        for name in names
+    ]
+    if workers > 1 and len(names) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunk = max(1, len(args) // (4 * workers))
+                yield from pool.map(_worker, args, chunksize=chunk)
+            return
+        except (OSError, PermissionError, ImportError):
+            # Sandboxes that forbid multiprocessing primitives fall back
+            # to the serial path rather than failing the build.
+            pass
+    for a in args:
+        yield _worker(a)

@@ -20,6 +20,7 @@ from .measure import (
     GUARD_SAMPLE_ITERS,
     MeasuredSample,
     apply_jitter,
+    clear_guard_prob_memo,
     estimate_guard_probs,
     measure_kernel,
     measure_plan,
@@ -41,6 +42,7 @@ __all__ = [
     "GUARD_SAMPLE_ITERS",
     "MeasuredSample",
     "apply_jitter",
+    "clear_guard_prob_memo",
     "estimate_guard_probs",
     "measure_kernel",
     "measure_plan",

@@ -13,6 +13,7 @@ and without the vectorizer) and timed on the ARMv8 / x86 machines.
 from __future__ import annotations
 
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -69,13 +70,41 @@ class MeasuredSample:
         )
 
 
+#: Memo of guard-probability runs, keyed by (id(kernel), seed).  The
+#: run is deterministic given those two, and several measurements of
+#: one kernel (scalar vs vector lowering, LLV vs SLP plans, jitter
+#: sweeps) would otherwise each repeat the functional run — the most
+#: expensive stage of a measurement.  The kernel object is stored in
+#: the value to pin its id while the entry is alive.
+_GUARD_MEMO: "OrderedDict[tuple[int, int], tuple[LoopKernel, dict[int, float]]]" = (
+    OrderedDict()
+)
+_GUARD_MEMO_MAX = 512
+
+
+def clear_guard_prob_memo() -> None:
+    _GUARD_MEMO.clear()
+
+
 def estimate_guard_probs(kernel: LoopKernel, seed: int = 0) -> dict[int, float]:
-    """Branch-taken probabilities from a truncated functional run."""
+    """Branch-taken probabilities from a truncated functional run.
+
+    Memoized per (kernel object, seed); returns a fresh dict either
+    way so callers can never alias each other's copy.
+    """
     if not any(isinstance(s, IfBlock) for s in kernel.stmts()):
         return {}
+    key = (id(kernel), seed)
+    hit = _GUARD_MEMO.get(key)
+    if hit is not None and hit[0] is kernel:
+        _GUARD_MEMO.move_to_end(key)
+        return dict(hit[1])
     bufs = make_buffers(kernel, seed=seed)
     result = run_scalar(kernel, bufs, max_inner_iters=GUARD_SAMPLE_ITERS)
-    return result.guard_probs
+    _GUARD_MEMO[key] = (kernel, result.guard_probs)
+    while len(_GUARD_MEMO) > _GUARD_MEMO_MAX:
+        _GUARD_MEMO.popitem(last=False)
+    return dict(result.guard_probs)
 
 
 def apply_jitter(value: float, rng: np.random.Generator, sigma: float) -> float:

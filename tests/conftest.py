@@ -14,6 +14,23 @@ from repro.tsvc import Dims
 SMALL = Dims(n=240, n2=16)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_measurement_cache(tmp_path_factory):
+    """Keep the suite's persistent measurement cache out of ~/.cache.
+
+    Tests still exercise the cache layer (warm rebuilds within the
+    session), but against a throwaway directory.
+    """
+    import os
+
+    from repro.pipeline import set_default_cache
+
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("measurement-cache"))
+    set_default_cache(None)
+    yield
+    set_default_cache(None)
+
+
 @pytest.fixture
 def arm():
     return ARMV8_NEON

@@ -61,3 +61,25 @@ def test_jitter_changes_values_not_membership():
 def test_len_and_iteration(tmp_path):
     ds = build_dataset(ARM_LLV)
     assert len(ds) == len(ds.samples)
+
+
+def test_sample_lookup_is_indexed():
+    ds = build_dataset(ARM_LLV)
+    s = ds.sample("s000")
+    assert s.name == "s000"
+    assert s is ds._by_name["s000"]  # dict-backed, not a linear scan
+    with pytest.raises(KeyError, match="not in dataset"):
+        ds.sample("no-such-kernel")
+
+
+def test_duplicate_kernel_names_rejected():
+    ds = build_dataset(ARM_LLV)
+    with pytest.raises(ValueError, match="duplicate kernel"):
+        Dataset(ARM_LLV, samples=[ds.samples[0], ds.samples[0]])
+
+
+def test_workers_not_in_measurement_identity():
+    """Any worker count returns the same memoized dataset object."""
+    ds = build_dataset(ARM_LLV)
+    assert build_dataset(DatasetSpec("armv8-neon", "llv", workers=2)) is ds
+    assert ARM_LLV.identity == ("armv8-neon", "llv", 0.02, 0)

@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.costmodel import SpeedupModel
-from repro.fitting import LeastSquares
+from repro.costmodel import RatedSpeedupModel, SpeedupModel
+from repro.fitting import LeastSquares, NonNegativeLeastSquares
 from repro.validation import kfold_predictions, loocv_predictions
+from repro.validation.loocv import fast_loocv_eligible
 
 from tests.test_costmodel import feat, mk_sample
 
@@ -110,3 +111,102 @@ def test_failed_fold_yields_nan():
 
     preds = loocv_predictions(FailingModel, samples)
     assert np.isnan(preds).all()
+
+
+# -- fast path (hat-matrix identity) ----------------------------------------
+
+
+def l2_factories():
+    """Every model shape the fast path claims to handle."""
+    return [
+        lambda: SpeedupModel(LeastSquares()),
+        lambda: SpeedupModel(LeastSquares(), clip_to_vf=False),
+        lambda: SpeedupModel(LeastSquares(ridge=0.25)),
+        lambda: RatedSpeedupModel(LeastSquares()),
+    ]
+
+
+def test_eligibility_is_l2_only():
+    assert fast_loocv_eligible(SpeedupModel(LeastSquares()))
+    assert fast_loocv_eligible(RatedSpeedupModel(LeastSquares(ridge=1.0)))
+    assert not fast_loocv_eligible(SpeedupModel(NonNegativeLeastSquares()))
+
+    class NotAModel:
+        name = "other"
+
+    assert not fast_loocv_eligible(NotAModel())
+
+
+@pytest.mark.parametrize("factory", l2_factories())
+def test_fast_matches_naive_on_synthetic(factory):
+    samples = linear_truth_samples(30, seed=3)
+    fast = loocv_predictions(factory, samples)
+    naive = loocv_predictions(factory, samples, fast=False)
+    np.testing.assert_allclose(fast, naive, atol=1e-8)
+
+
+@pytest.mark.parametrize("spec_name", ["arm", "x86"])
+@pytest.mark.parametrize("factory", l2_factories())
+def test_fast_matches_naive_on_suite(spec_name, factory):
+    """Acceptance cross-check: identical to the refit loop on real data."""
+    from repro.experiments import ARM_LLV, X86_SLP, build_dataset
+
+    ds = build_dataset(ARM_LLV if spec_name == "arm" else X86_SLP)
+    fast = loocv_predictions(factory, ds.samples)
+    naive = loocv_predictions(factory, ds.samples, fast=False)
+    assert np.isfinite(fast).all()
+    np.testing.assert_allclose(fast, naive, atol=1e-8)
+
+
+def test_fast_applies_vf_clipping():
+    samples = linear_truth_samples(20, seed=1)
+    preds = loocv_predictions(lambda: SpeedupModel(LeastSquares()), samples)
+    vfs = np.array([float(s.vf) for s in samples])
+    assert (preds <= vfs).all()
+    assert (preds > 0).all()
+
+
+def test_nnls_still_goes_through_refit_loop():
+    """A constrained fit must produce constrained LOOCV folds."""
+    samples = linear_truth_samples(15, seed=2)
+    preds = loocv_predictions(
+        lambda: SpeedupModel(NonNegativeLeastSquares()), samples
+    )
+    naive = loocv_predictions(
+        lambda: SpeedupModel(NonNegativeLeastSquares()), samples, fast=False
+    )
+    np.testing.assert_allclose(preds, naive, atol=0)
+
+
+def test_fast_handles_unit_leverage_rows():
+    """A sample with a unique feature direction has leverage ≈ 1; the
+    fast path must hand it to the refit loop instead of dividing by 0."""
+    samples = linear_truth_samples(12, seed=4)
+    # One sample is the only user of the 'div' class.
+    odd = mk_sample(
+        name="unique", scalar=feat(load=1), vector=feat(div=5.0), speedup=1.5
+    )
+    mixed = samples + [odd]
+    fast = loocv_predictions(
+        lambda: SpeedupModel(
+            LeastSquares(), feature_fn=lambda s: s.vector_features
+        ),
+        mixed,
+    )
+    naive = loocv_predictions(
+        lambda: SpeedupModel(
+            LeastSquares(), feature_fn=lambda s: s.vector_features
+        ),
+        mixed,
+        fast=False,
+    )
+    np.testing.assert_allclose(fast, naive, atol=1e-8)
+
+
+def test_fast_two_samples_minimum():
+    samples = linear_truth_samples(2, seed=5)
+    fast = loocv_predictions(lambda: SpeedupModel(LeastSquares()), samples)
+    naive = loocv_predictions(
+        lambda: SpeedupModel(LeastSquares()), samples, fast=False
+    )
+    np.testing.assert_allclose(fast, naive, atol=1e-8)

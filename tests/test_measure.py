@@ -76,6 +76,47 @@ def test_guard_probs_empty_without_guards():
     assert estimate_guard_probs(get_kernel("s000", SMALL)) == {}
 
 
+def test_guard_probs_memoized_per_kernel_and_seed(monkeypatch):
+    """Measuring several plans of one kernel runs the estimator once."""
+    import repro.sim.measure as measure_mod
+
+    measure_mod.clear_guard_prob_memo()
+    kern = get_kernel("s271", SMALL)
+    runs = []
+    real_run = measure_mod.run_scalar
+
+    def counting_run(*args, **kwargs):
+        runs.append(1)
+        return real_run(*args, **kwargs)
+
+    monkeypatch.setattr(measure_mod, "run_scalar", counting_run)
+    first = estimate_guard_probs(kern, seed=0)
+    second = estimate_guard_probs(kern, seed=0)
+    assert first == second
+    assert len(runs) == 1  # second call memoized
+    estimate_guard_probs(kern, seed=1)
+    assert len(runs) == 2  # different seed recomputes
+    # Callers get independent copies, never a shared dict.
+    first[0] = -1.0
+    assert estimate_guard_probs(kern, seed=0)[0] != -1.0
+    assert len(runs) == 2
+
+
+def test_guard_memo_distinguishes_kernel_objects():
+    """Same-named kernels at different dims must not share probabilities."""
+    import repro.sim.measure as measure_mod
+
+    measure_mod.clear_guard_prob_memo()
+    from repro.tsvc import Dims
+
+    a = get_kernel("s271", SMALL)
+    b = get_kernel("s271", Dims(n=480, n2=16))
+    assert a is not b
+    pa = estimate_guard_probs(a)
+    pb = estimate_guard_probs(b)
+    assert set(pa) == set(pb)  # same guard structure, separate entries
+
+
 def test_remainder_charged_to_vector_time():
     def body(k, trip):
         a, b = k.arrays("a", "b")
