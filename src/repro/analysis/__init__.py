@@ -1,5 +1,10 @@
-"""Kernel analyses: access patterns, dependences, scalar classification."""
+"""Kernel analyses: access patterns, dependences, scalar classification.
 
+The pass-managed layer (caching, dataflow, the race detector, lint,
+and structured remarks) lives in :mod:`repro.analysis.framework`.
+"""
+
+from . import framework
 from .access import (
     AccessInfo,
     AccessPattern,
@@ -32,6 +37,7 @@ from .reduction import (
 )
 
 __all__ = [
+    "framework",
     "AccessInfo",
     "AccessPattern",
     "classify_stride",

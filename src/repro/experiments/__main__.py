@@ -4,6 +4,9 @@ Runs the requested paper-figure reproductions and prints their tables
 and text scatters.  Measurement-pipeline knobs (worker processes, the
 persistent cache) are configured here and apply to every dataset the
 selected experiments build.
+
+``python -m repro.experiments analyze …`` dispatches to the static
+analysis CLI instead (see :mod:`.analyze`).
 """
 
 from __future__ import annotations
@@ -17,6 +20,11 @@ from .registry import EXPERIMENTS, run_experiment
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "analyze":
+        from .analyze import main as analyze_main
+
+        return analyze_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's figures (see DESIGN.md §4).",

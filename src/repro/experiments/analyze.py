@@ -1,0 +1,185 @@
+"""CLI: ``python -m repro.experiments analyze <kernel…|--suite>``.
+
+Static analysis without measurement: every requested kernel is
+verified, linted, and put through the vectorization legality check,
+and the resulting LLVM-style remarks are printed (``-Rpass`` /
+``-Rpass-missed`` equivalents).  ``--json`` additionally writes the
+machine-readable report; ``--strict`` exits non-zero when any warning
+or error survives, which is how CI gates the suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from ..analysis.framework.diagnostics import Diagnostics, Remark, Severity
+from ..analysis.framework.lint import lint_kernel
+from ..analysis.framework.passmanager import default_manager
+from ..ir.verify import VerificationError, verify_kernel
+from ..targets.registry import get_target
+from ..tsvc.suite import get_kernel, kernel_names
+from ..vectorize.legality import PASS as VEC_PASS
+from ..vectorize.legality import check_legality, natural_vf
+
+
+def analyze_kernel(
+    name: str,
+    target_name: str = "neon",
+    vf: Optional[int] = None,
+) -> dict:
+    """Analyze one suite kernel; returns the JSON-shaped report entry."""
+    kernel = get_kernel(name)
+    target = get_target(target_name)
+    diags = Diagnostics()
+
+    try:
+        verify_kernel(kernel)
+    except VerificationError as err:
+        diags.emit(
+            Remark(
+                severity=Severity.ERROR,
+                pass_name="verify",
+                kernel=name,
+                message=str(err),
+            )
+        )
+        return _entry(name, None, None, "verification failed", diags)
+
+    diags.extend(lint_kernel(kernel, default_manager()))
+
+    chosen_vf = vf if vf is not None else natural_vf(kernel, target)
+    legality = check_legality(kernel, chosen_vf)
+    if legality.ok:
+        diags.remark(
+            VEC_PASS,
+            name,
+            f"loop vectorized (VF={chosen_vf}, max safe VF "
+            f"{_fmt_vf(legality.max_safe_vf)})",
+            args=(("vf", str(chosen_vf)),),
+        )
+        return _entry(name, True, chosen_vf, None, diags)
+
+    diags.extend(legality.remarks)
+    return _entry(name, False, chosen_vf, legality.reason, diags)
+
+
+def _fmt_vf(vf: float) -> str:
+    return "inf" if vf == float("inf") else str(int(vf))
+
+
+def _entry(
+    name: str,
+    vectorized: Optional[bool],
+    vf: Optional[int],
+    reason: Optional[str],
+    diags: Diagnostics,
+) -> dict:
+    return {
+        "kernel": name,
+        "vectorized": vectorized,
+        "vf": vf,
+        "reason": reason,
+        "remarks": [r.to_dict() for r in diags.remarks()],
+        "max_severity": (
+            diags.max_severity().value if diags.remarks() else None
+        ),
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments analyze",
+        description="Static analysis: verify, lint, and explain "
+        "vectorization legality as LLVM-style remarks.",
+    )
+    parser.add_argument("kernels", nargs="*", help="TSVC kernel names")
+    parser.add_argument(
+        "--suite", action="store_true", help="analyze every suite kernel"
+    )
+    parser.add_argument(
+        "--target", default="neon", help="target for VF selection (default: neon)"
+    )
+    parser.add_argument(
+        "--vf", type=int, default=None, help="override the vectorization factor"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any warning or error is emitted",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print the summary line"
+    )
+    args = parser.parse_args(argv)
+
+    if args.suite:
+        names = list(kernel_names())
+    elif args.kernels:
+        names = args.kernels
+    else:
+        parser.error("name at least one kernel, or pass --suite")
+
+    known = set(kernel_names())
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        print(f"unknown kernels: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    entries = [analyze_kernel(n, args.target, args.vf) for n in names]
+
+    n_warn = n_err = 0
+    for entry in entries:
+        for rd in entry["remarks"]:
+            if rd["severity"] == "error":
+                n_err += 1
+            elif rd["severity"] == "warning":
+                n_warn += 1
+        if not args.quiet:
+            for rd in entry["remarks"]:
+                print(_format_dict(rd))
+
+    n_vec = sum(1 for e in entries if e["vectorized"])
+    n_not = sum(1 for e in entries if e["vectorized"] is False)
+    print(
+        f"[analyze] {len(entries)} kernels: {n_vec} vectorized, "
+        f"{n_not} not vectorized; {n_warn} warnings, {n_err} errors"
+    )
+
+    if args.json:
+        report = {
+            "target": args.target,
+            "vf": args.vf,
+            "kernels": entries,
+            "summary": {
+                "analyzed": len(entries),
+                "vectorized": n_vec,
+                "not_vectorized": n_not,
+                "warnings": n_warn,
+                "errors": n_err,
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"[analyze] JSON report written to {args.json}")
+
+    if args.strict and (n_warn or n_err):
+        return 1
+    return 0
+
+
+def _format_dict(rd: dict) -> str:
+    loc = f":S{rd['stmt_index']}" if rd.get("stmt_index") is not None else ""
+    return (
+        f"{rd['kernel']}{loc}: {rd['severity']}: {rd['message']} "
+        f"[{rd['flag']}={rd['pass']}]"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,17 @@ class LeastSquares:
         else:
             Xa, ya = X, y
         self._coef, *_ = np.linalg.lstsq(Xa, ya, rcond=None)
+        if not np.all(np.isfinite(self._coef)):
+            # Columns with denormal norms underflow inside the SVD and
+            # poison every coefficient with NaN.  Drop them (their
+            # contribution to X @ w is below representable precision
+            # anyway), refit the rest, and report 0 for the dropped.
+            norms = np.linalg.norm(Xa, axis=0)
+            keep = norms > np.sqrt(np.finfo(np.float64).tiny)
+            coef = np.zeros(Xa.shape[1])
+            if keep.any():
+                coef[keep], *_ = np.linalg.lstsq(Xa[:, keep], ya, rcond=None)
+            self._coef = coef
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:

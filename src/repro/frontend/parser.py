@@ -45,6 +45,7 @@ from ..ir.builder import (
 )
 from ..ir.kernel import LoopKernel
 from ..ir.types import DType
+from ..ir.verify import verify_kernel
 from .lexer import LexError, Token, TokenStream, tokenize
 
 
@@ -99,7 +100,7 @@ class _Parser:
         ts.expect("op", "}")
         ts.expect("eof")
         kern = self.builder.build()
-        return LoopKernel(
+        out = LoopKernel(
             name=kern.name,
             loops=kern.loops,
             arrays=kern.arrays,
@@ -108,6 +109,11 @@ class _Parser:
             category=kern.category,
             source="",
         )
+        # The builder verified what it assembled; re-verify the kernel
+        # actually handed to callers so the boundary invariant is on
+        # the returned object, not a sibling of it.
+        verify_kernel(out)
+        return out
 
     def _parse_decl(self) -> None:
         ts = self.ts

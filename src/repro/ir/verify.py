@@ -7,6 +7,8 @@ integer index arrays, bool guards, and type-consistent stores.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .expr import Affine, Expr, Indirect, Load
 from .stmt import ArrayStore, IfBlock, ScalarAssign, Stmt
 
@@ -14,12 +16,24 @@ from .stmt import ArrayStore, IfBlock, ScalarAssign, Stmt
 class VerificationError(Exception):
     """The kernel violates an IR structural invariant."""
 
+    def __init__(self, message: str, kernel_name: Optional[str] = None):
+        self.kernel_name = kernel_name
+        super().__init__(
+            f"{kernel_name}: {message}" if kernel_name else message
+        )
+
 
 def verify_kernel(kernel) -> None:
     """Raise :class:`VerificationError` if ``kernel`` is malformed."""
     depth = kernel.depth
-    for stmt in kernel.body:
-        _verify_stmt(kernel, stmt, depth)
+    name = getattr(kernel, "name", None)
+    try:
+        for stmt in kernel.body:
+            _verify_stmt(kernel, stmt, depth)
+    except VerificationError as err:
+        if err.kernel_name is None and name:
+            raise VerificationError(str(err), name) from None
+        raise
 
 
 def _verify_stmt(kernel, stmt: Stmt, depth: int) -> None:

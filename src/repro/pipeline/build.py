@@ -24,7 +24,11 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from ..analysis.framework.diagnostics import Severity
+from ..analysis.framework.lint import lint_kernel
+from ..analysis.framework.passmanager import default_manager
 from ..costmodel.base import Sample, sample_from_measurement
+from ..ir.verify import VerificationError, verify_kernel
 from ..sim.measure import measure_kernel
 from ..targets.registry import get_target
 from ..tsvc.suite import all_kernels, get_kernel
@@ -91,6 +95,35 @@ def resolve_workers(explicit: Optional[int] = None) -> int:
     return os.cpu_count() or 1
 
 
+#: Kernels that already passed verify+lint, pinned by identity so the
+#: check runs once per kernel object per process (warm rebuilds pay a
+#: set lookup, nothing more).
+_PREPASS_SEEN: dict[int, object] = {}
+
+
+def static_prepass(kernels) -> None:
+    """Verify + lint every kernel before any measurement is dispatched.
+
+    Structural problems and lint *errors* are fatal — a malformed
+    kernel must never reach the measurement cache.  Results are
+    memoized (per kernel object, with the framework's analysis results
+    shared) so repeated sweeps over the cached suite stay cheap.
+    """
+    am = default_manager()
+    for kern in kernels:
+        if _PREPASS_SEEN.get(id(kern)) is kern:
+            continue
+        verify_kernel(kern)
+        errors = [
+            r for r in lint_kernel(kern, am) if r.severity is Severity.ERROR
+        ]
+        if errors:
+            raise VerificationError(
+                "; ".join(r.message for r in errors), kern.name
+            )
+        _PREPASS_SEEN[id(kern)] = kern
+
+
 #: What one kernel's sweep cell resolves to: the model-facing sample,
 #: or the reason vectorization was refused.
 Payload = tuple[Optional[Sample], Optional[str]]
@@ -126,11 +159,14 @@ def measure_suite(
     *,
     workers: Optional[int] = None,
     cache: Optional[MeasurementCache] = None,
+    prepass: Optional[bool] = None,
 ) -> tuple[list[Sample], list[tuple[str, str]]]:
     """Sweep the whole TSVC suite for one measurement spec.
 
     Returns ``(samples, failures)`` in suite registration order —
-    independent of worker count and cache state.
+    independent of worker count and cache state.  ``prepass`` controls
+    the verify+lint gate run before the cache is consulted (default
+    on; ``REPRO_PREPASS=0`` disables it).
     """
     get_target(spec.target)  # validate the spec before any work
     if cache is None:
@@ -138,6 +174,10 @@ def measure_suite(
     workers = resolve_workers(workers if workers is not None else spec.workers)
 
     kernels = list(all_kernels())
+    if prepass is None:
+        prepass = os.environ.get("REPRO_PREPASS", "1") != "0"
+    if prepass:
+        static_prepass(kernels)
     results: dict[str, Payload] = {}
     pending: list[str] = []
     fingerprints: dict[str, str] = {}

@@ -18,6 +18,7 @@ the same buffers and live-out scalars (up to float reassociation).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -284,6 +285,8 @@ def run_vector(
     plan: VectorizationPlan,
     bufs: dict[str, np.ndarray],
     scalars: Optional[dict] = None,
+    *,
+    sanitize: Optional[bool] = None,
 ) -> ExecResult:
     """Emulate the vectorized execution of ``plan``, mutating ``bufs``.
 
@@ -291,7 +294,19 @@ def run_vector(
     statements, if-conversion with masks, ordered masked scatter
     stores, lane-parallel reduction accumulators combined horizontally
     at the end, and a scalar tail for the remainder iterations.
+
+    ``sanitize=True`` (or ``REPRO_SANITIZE=1`` in the environment) runs
+    the vector-safety sanitizer first: the plan's claimed dependence
+    distances are cross-checked against the dynamically evaluated
+    addresses and a :class:`~repro.analysis.framework.sanitizer.SanitizerError`
+    is raised on any disagreement, before any buffer is mutated.
     """
+    if sanitize is None:
+        sanitize = os.environ.get("REPRO_SANITIZE", "") == "1"
+    if sanitize:
+        from ..analysis.framework.sanitizer import check_plan
+
+        check_plan(plan, bufs)
     kernel = plan.kernel
     vf = plan.vf
     env_in = dict(scalars) if scalars is not None else initial_scalars(kernel)

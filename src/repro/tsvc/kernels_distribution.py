@@ -86,10 +86,11 @@ def s2233(k: KernelBuilder, d: Dims) -> None:
     "s235",
     "loop-interchange",
     notes="imperfect nest: the outer-loop statement a[i] += b[i]*c[i] is "
-    "dropped; the inner column recurrence decides the verdict either way",
+    "dropped (with the b/c declarations it used); the inner column "
+    "recurrence decides the verdict either way",
 )
 def s235(k: KernelBuilder, d: Dims) -> None:
-    a, b, c = k.arrays("a", "b", "c")
+    a = k.array("a")
     aa, bb = k.array2("aa"), k.array2("bb")
     i = k.loop(d.n2)
     j = k.loop(d.n2 - 1)

@@ -12,6 +12,12 @@ Control flow is never a legality problem — it is if-converted — and
 indirect accesses are legal as long as they create no *conflicting*
 unknown dependence (pure gather reads, scatter writes to an array that
 is never read in the loop).
+
+The analyses are consumed through the static-analysis framework's pass
+manager (one cached dependence walk shared by the race detector, the
+lint pass, and every legality query), and every refusal carries the
+structured remarks that name the blocking access pair or scalar — the
+``-Rpass-missed=loop-vectorize`` equivalents the ``analyze`` CLI prints.
 """
 
 from __future__ import annotations
@@ -19,12 +25,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..analysis.access import collect_accesses
-from ..analysis.dependence import DependenceInfo, analyze_dependences
-from ..analysis.reduction import ScalarClass, ScalarInfo, classify_scalars
+from ..analysis.dependence import DependenceInfo
+from ..analysis.framework.diagnostics import Remark, Severity
+from ..analysis.framework.passmanager import AnalysisManager, default_manager
+from ..analysis.framework.passes import AccessPass, ScalarClassPass
+from ..analysis.framework.racedetector import RacePass, RaceReport
+from ..analysis.reduction import ScalarClass, ScalarInfo
 from ..ir.kernel import LoopKernel
 from ..ir.types import DType
 from ..targets.base import Target
+
+PASS = "loop-vectorize"
 
 
 @dataclass(frozen=True)
@@ -35,6 +46,8 @@ class Legality:
     max_safe_vf: float
     scalar_info: dict[str, ScalarInfo]
     dep_info: DependenceInfo
+    #: Structured remarks explaining the verdict (empty when legal).
+    remarks: tuple[Remark, ...] = ()
 
 
 def widest_dtype(kernel: LoopKernel) -> DType:
@@ -54,26 +67,86 @@ def natural_vf(kernel: LoopKernel, target: Target) -> int:
     return max(2, target.lanes(widest_dtype(kernel)))
 
 
-def check_legality(kernel: LoopKernel, vf: int) -> Legality:
-    scalar_info = classify_scalars(kernel)
-    dep_info = analyze_dependences(kernel)
+def check_legality(
+    kernel: LoopKernel,
+    vf: int,
+    *,
+    manager: Optional[AnalysisManager] = None,
+) -> Legality:
+    """Decide legality at ``vf`` using cached framework analyses."""
+    am = manager if manager is not None else default_manager()
+    scalar_info: dict[str, ScalarInfo] = am.get(ScalarClassPass, kernel)
+    races: RaceReport = am.get(RacePass, kernel)
+    dep_info = races.dep_info
 
-    def fail(reason: str, detail: str = "") -> Legality:
-        return Legality(False, reason, detail, dep_info.max_safe_vf(), scalar_info, dep_info)
+    def fail(reason: str, detail: str, remarks: list[Remark]) -> Legality:
+        return Legality(
+            False,
+            reason,
+            detail,
+            races.max_safe_vf(),
+            scalar_info,
+            dep_info,
+            tuple(remarks),
+        )
 
     for name, info in scalar_info.items():
         if info.klass is ScalarClass.RECURRENCE:
-            return fail("scalar recurrence", f"scalar {name!r} carries a serial dependence")
-
-    unsafe = dep_info.unsafe_for(vf)
-    if unsafe:
-        return fail("unsafe memory dependence", str(unsafe[0]))
-
-    for acc in collect_accesses(kernel):
-        if acc.is_store and acc.stride == 0:
-            return fail(
-                "loop-invariant store",
-                f"store to {acc.array} does not move with the inner loop",
+            detail = f"scalar {name!r} carries a serial dependence"
+            remark = Remark(
+                severity=Severity.REMARK,
+                pass_name=PASS,
+                kernel=kernel.name,
+                message=(
+                    f"loop not vectorized: scalar recurrence on '{name}' — "
+                    "its previous-iteration value is observed outside a "
+                    "reduction pattern, serializing the loop"
+                ),
+                args=(("scalar", name), ("reason", "scalar recurrence")),
             )
+            return fail("scalar recurrence", detail, [remark])
 
-    return Legality(True, "ok", "", dep_info.max_safe_vf(), scalar_info, dep_info)
+    blocking = races.blocking(vf)
+    if blocking:
+        race_remarks = races.remarks(vf)
+        headline = Remark(
+            severity=Severity.REMARK,
+            pass_name=PASS,
+            kernel=kernel.name,
+            message=(
+                f"loop not vectorized: unsafe dependent memory operation — "
+                f"{blocking[0].describe()}"
+            ),
+            stmt_index=blocking[0].sink_stmt,
+            args=(
+                ("reason", "unsafe memory dependence"),
+                ("array", blocking[0].array),
+                ("max_safe_vf", str(races.max_safe_vf())),
+            ),
+        )
+        return fail(
+            "unsafe memory dependence",
+            str(blocking[0].dep),
+            [headline, *race_remarks],
+        )
+
+    for acc in am.get(AccessPass, kernel):
+        if acc.is_store and acc.stride == 0:
+            detail = f"store to {acc.array} does not move with the inner loop"
+            remark = Remark(
+                severity=Severity.REMARK,
+                pass_name=PASS,
+                kernel=kernel.name,
+                message=(
+                    f"loop not vectorized: store to '{acc.array}' at "
+                    f"S{int(acc.pos)} is inner-loop invariant "
+                    "(last-value store out of scope)"
+                ),
+                stmt_index=int(acc.pos),
+                args=(("array", acc.array), ("reason", "loop-invariant store")),
+            )
+            return fail("loop-invariant store", detail, [remark])
+
+    return Legality(
+        True, "ok", "", races.max_safe_vf(), scalar_info, dep_info, ()
+    )

@@ -1,0 +1,101 @@
+"""The ``repro.experiments analyze`` CLI and its acceptance contract."""
+
+import json
+
+import pytest
+
+from repro.experiments.analyze import analyze_kernel, main
+from repro.targets import ARMV8_NEON
+from repro.tsvc import all_kernels
+from repro.vectorize import check_legality, natural_vf
+
+
+class TestCli:
+    def test_single_kernel_prints_remark(self, capsys):
+        assert main(["s000"]) == 0
+        out = capsys.readouterr().out
+        assert "loop vectorized" in out
+        assert "[-Rpass=loop-vectorize]" in out
+        assert "1 vectorized" in out
+
+    def test_rejected_kernel_names_dependence(self, capsys):
+        assert main(["s211"]) == 0
+        out = capsys.readouterr().out
+        assert "loop not vectorized" in out
+        assert "store b[i+1]" in out and "load b[i]" in out
+        assert "[-Rpass=race-detector]" in out
+
+    def test_unknown_kernel_exits_2(self, capsys):
+        assert main(["definitely-not-a-kernel"]) == 2
+        assert "unknown kernels" in capsys.readouterr().err
+
+    def test_no_args_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_vf_override_changes_verdict(self):
+        # distance-4 dep: legal at VF 4, illegal at VF 8 (s1115-style).
+        ok = analyze_kernel("s000", vf=4)
+        assert ok["vectorized"] is True and ok["vf"] == 4
+
+    def test_json_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        assert main(["s000", "s211", "--json", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["summary"]["analyzed"] == 2
+        assert report["summary"]["vectorized"] == 1
+        by_name = {e["kernel"]: e for e in report["kernels"]}
+        assert by_name["s000"]["vectorized"] is True
+        s211 = by_name["s211"]
+        assert s211["vectorized"] is False
+        args = [r["args"] for r in s211["remarks"] if r["pass"] == "race-detector"]
+        assert args and args[0]["array"] == "b"
+        assert args[0]["src"] == "store b[i+1]"
+        assert args[0]["distance"] == "1"
+
+    def test_strict_flag_passes_clean_suite(self, capsys):
+        assert main(["--suite", "--strict", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 warnings, 0 errors" in out
+
+    def test_main_module_dispatch(self, capsys):
+        from repro.experiments.__main__ import main as top_main
+
+        assert top_main(["analyze", "s000", "--quiet"]) == 0
+        assert "1 vectorized" in capsys.readouterr().out
+
+
+class TestAcceptance:
+    def test_every_rejected_kernel_gets_a_named_remark(self):
+        """Each legality-rejected suite kernel must carry >=1 remark that
+        names the blocking dependence pair or the recurrence scalar."""
+        missing = []
+        for kern in all_kernels():
+            vf = natural_vf(kern, ARMV8_NEON)
+            if check_legality(kern, vf).ok:
+                continue
+            entry = analyze_kernel(kern.name)
+            remarks = [
+                r
+                for r in entry["remarks"]
+                if r["pass"] in ("loop-vectorize", "race-detector")
+                and (
+                    "array" in r["args"]
+                    or "scalar" in r["args"]
+                    or "src" in r["args"]
+                )
+            ]
+            if not remarks:
+                missing.append(kern.name)
+        assert missing == [], (
+            f"rejected kernels without a blocking-pair remark: {missing}"
+        )
+
+    def test_rejection_remarks_name_both_endpoints(self):
+        entry = analyze_kernel("s116")
+        pair = [r for r in entry["remarks"] if r["pass"] == "race-detector"]
+        assert pair, "s116 should have race remarks"
+        args = pair[0]["args"]
+        assert "store" in args["src"] or "load" in args["src"]
+        assert args["src_stmt"].isdigit() and args["sink_stmt"].isdigit()
+        assert "direction" in args and "distance" in args

@@ -1,0 +1,247 @@
+"""Pass manager, diagnostics, and dataflow passes (analysis.framework)."""
+
+import pytest
+
+from repro.analysis.framework import (
+    ENTRY_DEF,
+    AnalysisManager,
+    AnalysisPass,
+    DefUsePass,
+    DependencePass,
+    Diagnostics,
+    LivenessPass,
+    LoopInvariantPass,
+    RacePass,
+    ReachingDefsPass,
+    Remark,
+    Severity,
+)
+
+from tests.helpers import build
+
+
+def simple_kernel():
+    def body(k):
+        a, b = k.arrays("a", "b")
+        i = k.loop(64)
+        a[i] = b[i] + 1.0
+
+    return build("simple", body)
+
+
+class TestAnalysisManager:
+    def test_result_is_cached(self):
+        am = AnalysisManager()
+        kern = simple_kernel()
+        first = am.get(DependencePass, kern)
+        second = am.get(DependencePass, kern)
+        assert first is second
+        assert am.stats.hits == 1
+        assert am.stats.misses == 1
+
+    def test_cached_does_not_run(self):
+        am = AnalysisManager()
+        kern = simple_kernel()
+        assert am.cached(DependencePass, kern) is None
+        am.get(DependencePass, kern)
+        assert am.cached(DependencePass, kern) is not None
+
+    def test_lookup_by_name_and_instance(self):
+        am = AnalysisManager()
+        kern = simple_kernel()
+        by_cls = am.get(DependencePass, kern)
+        assert am.get("deps", kern) is by_cls
+        with pytest.raises(KeyError, match="unknown analysis pass"):
+            am.get("no-such-pass", kern)
+
+    def test_run_pipeline_returns_ordered_results(self):
+        am = AnalysisManager()
+        kern = simple_kernel()
+        results = am.run_pipeline(kern, [DependencePass, RacePass])
+        assert list(results) == ["deps", "race-detector"]
+        assert results["race-detector"].dep_info is results["deps"]
+
+    def test_invalidation_cascades_to_dependents(self):
+        am = AnalysisManager()
+        kern = simple_kernel()
+        am.get(RacePass, kern)  # pulls DependencePass underneath
+        assert am.cached(DependencePass, kern) is not None
+        dropped = am.invalidate(kern, DependencePass)
+        assert dropped == 2  # deps + race-detector
+        assert am.cached(DependencePass, kern) is None
+        assert am.cached(RacePass, kern) is None
+
+    def test_invalidate_whole_kernel(self):
+        am = AnalysisManager()
+        kern = simple_kernel()
+        am.get(RacePass, kern)
+        assert am.invalidate(kern) >= 2
+        assert am.cached(RacePass, kern) is None
+
+    def test_invalidation_rerun_gives_fresh_result(self):
+        am = AnalysisManager()
+        kern = simple_kernel()
+        first = am.get(DependencePass, kern)
+        am.invalidate(kern, DependencePass)
+        second = am.get(DependencePass, kern)
+        assert first is not second
+
+    def test_transitive_cascade_through_custom_passes(self):
+        calls = []
+
+        class Base(AnalysisPass):
+            name = "t-base"
+
+            def run(self, kernel, am):
+                calls.append("base")
+                return 1
+
+        class Mid(AnalysisPass):
+            name = "t-mid"
+
+            def run(self, kernel, am):
+                calls.append("mid")
+                return am.get(base, kernel) + 1
+
+        class Top(AnalysisPass):
+            name = "t-top"
+
+            def run(self, kernel, am):
+                calls.append("top")
+                return am.get(mid, kernel) + 1
+
+        base, mid, top = Base(), Mid(), Top()
+        am = AnalysisManager()
+        kern = simple_kernel()
+        assert am.get(top, kern) == 3
+        assert calls == ["top", "mid", "base"]
+        # Invalidating the bottom drops the whole chain, nothing else.
+        am.get(DependencePass, kern)
+        assert am.invalidate(kern, base) == 3
+        assert am.cached(DependencePass, kern) is not None
+
+    def test_lru_bound_evicts_oldest(self):
+        am = AnalysisManager(max_kernels=2)
+        k1, k2, k3 = simple_kernel(), simple_kernel(), simple_kernel()
+        for k in (k1, k2, k3):
+            am.get(DependencePass, k)
+        assert am.cached(DependencePass, k1) is None
+        assert am.cached(DependencePass, k3) is not None
+
+
+class TestDiagnostics:
+    def r(self, msg, severity=Severity.REMARK, **kw):
+        return Remark(
+            severity=severity, pass_name="p", kernel="k", message=msg, **kw
+        )
+
+    def test_format_mirrors_clang(self):
+        remark = self.r("hello", stmt_index=2)
+        assert remark.format() == "k:S2: remark: hello [-Rpass=p]"
+        warn = self.r("bad", severity=Severity.WARNING)
+        assert warn.format() == "k: warning: bad [-Rpass-missed=p]"
+
+    def test_dedup(self):
+        d = Diagnostics()
+        d.emit(self.r("x"))
+        d.emit(self.r("x"))
+        d.emit(self.r("y"))
+        assert len(d) == 2
+
+    def test_filters_and_max_severity(self):
+        d = Diagnostics()
+        d.remark("p", "k1", "a")
+        d.warning("p", "k1", "b")
+        d.error("q", "k2", "c")
+        assert len(d.remarks(kernel="k1")) == 2
+        assert len(d.remarks(min_severity=Severity.WARNING)) == 2
+        assert len(d.remarks(pass_name="q")) == 1
+        assert d.max_severity() is Severity.ERROR
+        assert d.max_severity("k1") is Severity.WARNING
+        assert d.has_errors and d.has_warnings
+
+    def test_structured_args_round_trip(self):
+        d = Diagnostics()
+        d.remark("p", "k", "m", args=(("array", "a"), ("distance", 3)))
+        remark = d.remarks()[0]
+        assert remark.arg("array") == "a"
+        assert remark.arg("distance") == "3"
+        assert remark.arg("missing") is None
+        assert d.to_json()[0]["args"] == {"array": "a", "distance": "3"}
+
+
+class TestDataflowPasses:
+    def test_reaching_defs_entry_and_kill(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            t = k.scalar("t")
+            i = k.loop(64)
+            t.set(b[i])        # S0
+            a[i] = t + 1.0     # S1
+
+        kern = build("t", body)
+        am = AnalysisManager()
+        rd = am.get(ReachingDefsPass, kern)
+        # S0 sees the entry value (plus the back-edge copy of S0).
+        assert ENTRY_DEF in rd.reach_in[0]["t"]
+        # S1 sees exactly S0's definition: the entry def is killed.
+        assert rd.reach_in[1]["t"] == frozenset({0})
+        assert rd.exit["t"] == frozenset({0})
+
+    def test_def_use_chains_and_dead_defs(self):
+        def body(k):
+            a, b, c = k.arrays("a", "b", "c")
+            t = k.scalar("t")
+            i = k.loop(64)
+            t.set(b[i])        # S0: overwritten at S1, never read -> dead
+            t.set(c[i])        # S1
+            a[i] = t + 1.0     # S2
+
+        kern = build("t", body)
+        du = AnalysisManager().get(DefUsePass, kern)
+        assert du.defs["t"] == (0, 1)
+        assert du.uses["t"] == (2,)
+        assert du.chains[("t", 1)] == frozenset({2})
+        assert du.dead_defs == (("t", 0),)
+
+    def test_liveness_loop_carried_reduction(self):
+        def body(k):
+            a = k.array("a")
+            s = k.scalar("s")
+            i = k.loop(64)
+            s.set(s + a[i])
+
+        kern = build("t", body)
+        lv = AnalysisManager().get(LivenessPass, kern)
+        assert "s" in lv.loop_carried
+        assert "s" in lv.live_in[0]
+
+    def test_loop_invariant_statements_and_loads(self):
+        def body(k):
+            a, b, c = k.arrays("a", "b", "c")
+            i = k.loop(64)
+            a[3] = 2.0           # S0: invariant store
+            b[i] = c[5] + 1.0    # S1: varying store, invariant load
+
+        kern = build("t", body)
+        inv = AnalysisManager().get(LoopInvariantPass, kern)
+        assert 0 in inv.invariant_stmts
+        assert 1 not in inv.invariant_stmts
+        assert 1 in inv.invariant_loads
+
+    def test_guarded_defs_merge(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            t = k.scalar("t")
+            i = k.loop(64)
+            t.set(0.0)                 # S0
+            with k.if_(b[i] > 0.0):    # S1
+                t.set(b[i])            # S2
+            a[i] = t + 1.0             # S3
+
+        kern = build("t", body)
+        rd = AnalysisManager().get(ReachingDefsPass, kern)
+        # Both the unconditional and the guarded def reach the use.
+        assert rd.reach_in[3]["t"] == frozenset({0, 2})
+        du = AnalysisManager().get(DefUsePass, kern)
+        assert du.dead_defs == ()

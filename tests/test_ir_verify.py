@@ -109,3 +109,33 @@ def test_bool_store_into_float_array():
     cond = Compare(CmpKind.GT, Const(1.0, DType.F32), Const(0.0, DType.F32))
     with pytest.raises(VerificationError, match="bool"):
         verify_kernel(make_kernel([ArrayStore("a", IDX, cond)]))
+
+
+def test_error_message_carries_kernel_name():
+    with pytest.raises(VerificationError, match=r"^t: store to undeclared"):
+        verify_kernel(make_kernel([ArrayStore("zz", IDX, Const(1.0, DType.F32))]))
+
+
+def test_error_kernel_name_attribute():
+    try:
+        verify_kernel(make_kernel([ArrayStore("zz", IDX, Const(1.0, DType.F32))]))
+    except VerificationError as err:
+        assert err.kernel_name == "t"
+    else:
+        raise AssertionError("expected VerificationError")
+
+
+def test_parser_boundary_reverifies():
+    from repro.frontend import parse_kernel
+
+    kern = parse_kernel(
+        """
+        kernel pb {
+          f32 a[64], b[64];
+          for (i = 0; i < 64; i++) {
+            a[i] = b[i] + 1.0;
+          }
+        }
+        """
+    )
+    verify_kernel(kern)  # parse_kernel returns an already-verified kernel

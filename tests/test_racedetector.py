@@ -1,0 +1,102 @@
+"""Race detector: distance/direction vectors and blocking remarks."""
+
+from repro.analysis.dependence import DepKind
+from repro.analysis.framework import AnalysisManager, Direction, analyze_races
+from repro.tsvc import get_kernel
+
+from tests.helpers import build
+
+
+def races_of(kern):
+    return analyze_races(kern, AnalysisManager())
+
+
+class TestVectors:
+    def test_backward_distance_one(self):
+        # s211-style: b[i] read, b[i+1] written -> flow dep, distance 1.
+        kern = get_kernel("s211")
+        report = races_of(kern)
+        flow = [r for r in report.races if r.dep.kind is DepKind.FLOW]
+        assert flow, "expected a flow dependence on s211"
+        race = flow[0]
+        assert race.vector.distances == (1,)
+        assert race.vector.directions == (Direction.LT,)
+        assert race.blocks_vf(4)
+        assert not race.blocks_vf(1)
+
+    def test_forward_small_distance_does_not_block(self):
+        def body(k):
+            a, b, c = k.arrays("a", "b", "c")
+            i = k.loop(64)
+            a[i] = b[i] + 1.0   # S0
+            c[i] = a[i - 1]     # S1: reads last iteration's store, forward
+
+        report = races_of(build("t", body))
+        assert len(report.races) == 1
+        race = report.races[0]
+        assert race.vector.distances == (1,)
+        assert race.dep.forward
+        assert not race.blocks_vf(8)
+        assert report.blocking(8) == []
+
+    def test_unknown_distance_any_direction(self):
+        kern = get_kernel("s1113")  # a[i] vs a[LEN/2]: runtime-unknown
+        report = races_of(kern)
+        assert report.races, "expected dependences on s1113"
+        race = report.blocking(4)[0]
+        assert race.vector.directions == (Direction.ANY,)
+        assert race.vector.distances == (None,)
+
+    def test_two_level_vector_outer_equal(self):
+        def body(k):
+            aa = k.array2("aa")
+            i = k.loop(16)
+            j = k.loop(16)
+            aa[j + 1, i] = aa[j, i] + 1.0
+
+        report = races_of(build("t", body))
+        assert len(report.races) == 1
+        vec = report.races[0].vector
+        # Outer level contributes identically -> (=, <) with distances (0, 1).
+        assert vec.directions == (Direction.EQ, Direction.LT)
+        assert vec.distances == (0, 1)
+        assert str(vec) == "direction (=, <), distance (0, 1)"
+
+
+class TestRemarks:
+    def test_remark_names_exact_access_pair(self):
+        report = races_of(get_kernel("s211"))
+        remarks = report.remarks(4)
+        assert remarks, "a VF-4 blocking dependence must produce a remark"
+        remark = remarks[0]
+        assert remark.arg("array") == "b"
+        assert remark.arg("src") == "store b[i+1]"
+        assert remark.arg("sink") == "load b[i]"
+        assert remark.arg("distance") == "1"
+        assert remark.arg("direction") == "<"
+        assert "store b[i+1]" in remark.message
+        assert "load b[i]" in remark.message
+        assert remark.format().startswith("s211:S")
+
+    def test_no_remarks_when_safe(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = b[i] + 1.0
+
+        report = races_of(build("t", body))
+        assert report.remarks(8) == []
+        assert report.max_safe_vf() == float("inf")
+
+    def test_distance_vs_vf_threshold(self):
+        def body(k):
+            a, b = k.arrays("a", "b")
+            i = k.loop(64)
+            a[i] = a[i - 4] + b[i]
+
+        report = races_of(build("t", body))
+        assert report.blocking(4) == []
+        assert len(report.blocking(8)) == 1
+        assert report.max_safe_vf() == 4
+        remark = report.remarks(8)[0]
+        assert "distance 4 < VF 8" in remark.message
