@@ -12,6 +12,9 @@ Measured (best of ``--repeat`` runs, full ARM+x86 suite sweep):
 * ``warm_cache_s``     — rebuild served from the persistent cache;
 * ``static_prepass``   — warm rebuild with vs without the verify+lint
   pre-pass (must stay within 5% of each other);
+* ``resilience``       — supervised pool vs the raw executor on the
+  warm (fully cached) path — the supervision layer must cost <5%
+  there — plus the cold serial comparison for reference;
 * ``loocv_refit_s`` / ``loocv_fast_s`` — L2 LOOCV, refit loop vs
   hat-matrix fast path, on the ARM dataset.
 
@@ -56,12 +59,19 @@ def best_of(repeat: int, fn) -> float:
 
 
 def sweep_both(
-    workers: int, cache: MeasurementCache, prepass: bool | None = None
+    workers: int,
+    cache: MeasurementCache,
+    prepass: bool | None = None,
+    supervise: bool = True,
 ) -> int:
     total = 0
     for spec in BOTH_SPECS:
         samples, failures = measure_suite(
-            spec, workers=workers, cache=cache, prepass=prepass
+            spec,
+            workers=workers,
+            cache=cache,
+            prepass=prepass,
+            supervise=supervise,
         )
         total += len(samples) + len(failures)
     return total
@@ -131,6 +141,22 @@ def main(argv: list[str] | None = None) -> int:
             args.repeat, lambda: sweep_both(1, warm, prepass=True)
         )
 
+        # Supervision layer pricing: the fault-tolerant supervisor vs
+        # the raw executor, on the warm (all-cached) hot path and on a
+        # cold serial build for reference.
+        warm_sup = best_of(
+            args.repeat, lambda: sweep_both(1, warm, supervise=True)
+        )
+        warm_raw = best_of(
+            args.repeat, lambda: sweep_both(1, warm, supervise=False)
+        )
+        cold_sup = best_of(
+            args.repeat, lambda: sweep_both(1, off, supervise=True)
+        )
+        cold_raw = best_of(
+            args.repeat, lambda: sweep_both(1, off, supervise=False)
+        )
+
     samples = build_dataset(ARM_LLV).samples
     factory = lambda: RatedSpeedupModel(LeastSquares())  # noqa: E731
     loocv_predictions(factory, samples)  # numpy warmup
@@ -170,6 +196,18 @@ def main(argv: list[str] | None = None) -> int:
                 100.0 * (warm_pre - warm_nopre) / warm_nopre, 2
             ),
         },
+        "resilience": {
+            "warm_supervised_s": round(warm_sup, 4),
+            "warm_raw_s": round(warm_raw, 4),
+            "warm_overhead_pct": round(
+                100.0 * (warm_sup - warm_raw) / warm_raw, 2
+            ),
+            "cold_serial_supervised_s": round(cold_sup, 4),
+            "cold_serial_raw_s": round(cold_raw, 4),
+            "cold_overhead_pct": round(
+                100.0 * (cold_sup - cold_raw) / cold_raw, 2
+            ),
+        },
         "loocv_l2": {
             "refit_loop_s": round(refit_s, 5),
             "fast_path_s": round(fast_s, 5),
@@ -190,10 +228,15 @@ def main(argv: list[str] | None = None) -> int:
     # The verify+lint gate is memoized; a warm rebuild must not pay
     # more than 5% for it (timer-noise floor of 2 ms for tiny sweeps).
     prepass_ok = (warm_pre - warm_nopre) < max(0.05 * warm_nopre, 0.002)
-    if not (ok and warm_ok and prepass_ok):
+    # The supervised pool's bookkeeping (retry queue, journal hooks,
+    # deadline checks) must stay off the warm path: <5% over the raw
+    # executor, with the same timer-noise floor.
+    resilience_ok = (warm_sup - warm_raw) < max(0.05 * warm_raw, 0.002)
+    if not (ok and warm_ok and prepass_ok and resilience_ok):
         print(
             "SMOKE FAILURE: fast LOOCV disagrees, warm build regressed, "
-            "or the static prepass costs >5% on a warm rebuild"
+            "the static prepass costs >5% on a warm rebuild, or the "
+            "supervised pool costs >5% over the raw executor"
         )
         return 1
     return 0

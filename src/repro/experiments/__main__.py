@@ -6,7 +6,8 @@ persistent cache) are configured here and apply to every dataset the
 selected experiments build.
 
 ``python -m repro.experiments analyze …`` dispatches to the static
-analysis CLI instead (see :mod:`.analyze`).
+analysis CLI instead (see :mod:`.analyze`), and ``… chaos`` to the
+fault-injection parity check (see :mod:`repro.pipeline.faultinject`).
 """
 
 from __future__ import annotations
@@ -25,6 +26,10 @@ def main(argv: list[str] | None = None) -> int:
         from .analyze import main as analyze_main
 
         return analyze_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from ..pipeline.faultinject import main as chaos_main
+
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's figures (see DESIGN.md §4).",
@@ -72,6 +77,38 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print cache hit/miss statistics after the run",
     )
+    fault = parser.add_argument_group("fault tolerance")
+    fault.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-kernel measurement deadline; a worker that exceeds it "
+        "is killed and the kernel retried (default: REPRO_TIMEOUT env "
+        "or no deadline)",
+    )
+    fault.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts per kernel before quarantine "
+        "(default: REPRO_MAX_ATTEMPTS env or 3)",
+    )
+    fault.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="journal completed measurements here so an interrupted "
+        "sweep can be resumed (default: REPRO_CHECKPOINT_DIR env; "
+        "off when unset)",
+    )
+    fault.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the checkpoint journal: only kernels the previous "
+        "(interrupted) sweep never completed are re-measured",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -83,7 +120,16 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         cache_enabled=False if args.no_cache else None,
+        timeout=args.timeout,
+        max_attempts=args.max_attempts,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=True if args.resume else None,
     )
+    if args.resume and args.checkpoint_dir is None:
+        # --resume without a directory still needs a journal to read.
+        from ..pipeline import default_checkpoint_dir
+
+        configure(checkpoint_dir=str(default_checkpoint_dir()))
     if args.clear_cache:
         removed = default_cache().clear()
         print(f"[cache] cleared {removed} entries from {default_cache().root}")

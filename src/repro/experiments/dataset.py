@@ -21,6 +21,7 @@ import numpy as np
 
 from ..costmodel.base import Sample
 from ..pipeline.build import measure_suite
+from ..pipeline.resilience import FailureReport
 
 #: Default measurement jitter (σ of the multiplicative noise); roughly
 #: the run-to-run variation of a quiesced hardware measurement.
@@ -58,6 +59,11 @@ class Dataset:
     spec: DatasetSpec
     samples: list[Sample]
     failures: list[tuple[str, str]] = field(default_factory=list)
+    #: Kernels the fault-tolerant sweep gave up on (see
+    #: ``repro.pipeline.resilience``).  Empty on a healthy run; a
+    #: partial dataset is still fully usable — every consumer works
+    #: from ``samples`` — but reports must surface the gap.
+    quarantined: FailureReport = field(default_factory=FailureReport)
     _by_name: dict[str, Sample] = field(
         init=False, repr=False, compare=False, default_factory=dict
     )
@@ -90,12 +96,18 @@ class Dataset:
 
     def summary(self) -> str:
         sp = self.measured
-        return (
+        text = (
             f"{self.spec.label}: {len(self.samples)} vectorized, "
             f"{len(self.failures)} not vectorizable; measured speedup "
             f"min {sp.min():.2f} / median {np.median(sp):.2f} / "
             f"max {sp.max():.2f}"
         )
+        if self.quarantined:
+            text += (
+                f" [{len(self.quarantined)} kernels quarantined: "
+                f"{', '.join(self.quarantined.names())}]"
+            )
+        return text
 
 
 #: In-memory memo, keyed by measurement identity (worker count and
@@ -111,8 +123,13 @@ def build_dataset(spec: Optional[DatasetSpec] = None, **kwargs) -> Dataset:
         raise TypeError("pass either a spec or keyword overrides, not both")
     ds = _MEMO.get(spec.identity)
     if ds is None:
-        samples, failures = measure_suite(spec)
-        ds = _MEMO.setdefault(spec.identity, Dataset(spec, samples, failures))
+        # partial=True: a kernel the resilient sweep had to quarantine
+        # shrinks the dataset (and is reported) instead of killing the
+        # experiment that asked for it.
+        samples, failures, report = measure_suite(spec, partial=True)
+        ds = _MEMO.setdefault(
+            spec.identity, Dataset(spec, samples, failures, report)
+        )
     return ds
 
 

@@ -27,7 +27,7 @@ from .base import (
     scatter_for,
 )
 from .dataset import ARM_LLV, X86_SLP, Dataset, DatasetSpec, build_dataset
-from .reporting import fail_summary
+from .reporting import fail_summary, quarantine_summary
 
 
 def _dataset(spec: Optional[DatasetSpec], default: DatasetSpec) -> Dataset:
@@ -54,11 +54,13 @@ def run_e1(spec: Optional[DatasetSpec] = None) -> ExperimentResult:
             **report.row(),
             "vectorized": len(ds.samples),
             "excluded": len(ds.failures),
+            "quarantined": len(ds.quarantined),
         }
     )
     scatter_for(res, "llvm-static", preds, measured)
     res.notes = (
         f"{ds.summary()}. Not vectorizable: {fail_summary(ds.failures)}. "
+        f"Quarantined by the sweep: {quarantine_summary(ds.quarantined)}. "
         "The static model's coarse per-opcode costs ignore latency "
         "chains, port pressure and memory bandwidth — hence the weak "
         "correlation the paper opens with."
@@ -332,10 +334,14 @@ def run_e9(spec: Optional[DatasetSpec] = None) -> ExperimentResult:
             **report.row(),
             "vectorized": len(ds.samples),
             "excluded": len(ds.failures),
+            "quarantined": len(ds.quarantined),
         }
     )
     scatter_for(res, "llvm-static-x86", preds, measured)
-    res.notes = f"{ds.summary()}. Not vectorizable: {fail_summary(ds.failures)}."
+    res.notes = (
+        f"{ds.summary()}. Not vectorizable: {fail_summary(ds.failures)}. "
+        f"Quarantined by the sweep: {quarantine_summary(ds.quarantined)}."
+    )
     return res
 
 

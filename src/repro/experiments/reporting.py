@@ -100,3 +100,19 @@ def fail_summary(failures: Sequence[tuple[str, str]]) -> str:
         counts[reason] = counts.get(reason, 0) + 1
     parts = [f"{reason}: {n}" for reason, n in sorted(counts.items())]
     return "; ".join(parts) if parts else "none"
+
+
+def quarantine_summary(report) -> str:
+    """One line for a sweep's :class:`~repro.pipeline.FailureReport`.
+
+    ``"none"`` on a healthy sweep; otherwise the quarantined kernels
+    with their attempt counts and last error, so a partial dataset's
+    provenance survives into every experiment log.
+    """
+    if not report:
+        return "none"
+    parts = [
+        f"{f.name} ({f.attempts} attempts: {f.error_chain[-1]})"
+        for f in report.quarantined
+    ]
+    return f"{len(report)} quarantined — " + "; ".join(parts)

@@ -9,7 +9,25 @@ from .build import (
     PipelineConfig,
     configure,
     measure_suite,
+    resolve_timeout,
     resolve_workers,
+)
+from .faultinject import (
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    parse_faults,
+    plan_from_env,
+)
+from .resilience import (
+    CheckpointJournal,
+    FailureReport,
+    KernelFailure,
+    RetryPolicy,
+    SweepError,
+    default_checkpoint_dir,
+    pipeline_diagnostics,
+    run_supervised,
 )
 from .cache import (
     MISS,
@@ -30,7 +48,21 @@ __all__ = [
     "PipelineConfig",
     "configure",
     "measure_suite",
+    "resolve_timeout",
     "resolve_workers",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
+    "parse_faults",
+    "plan_from_env",
+    "CheckpointJournal",
+    "FailureReport",
+    "KernelFailure",
+    "RetryPolicy",
+    "SweepError",
+    "default_checkpoint_dir",
+    "pipeline_diagnostics",
+    "run_supervised",
     "MISS",
     "CacheStats",
     "MeasurementCache",

@@ -14,7 +14,15 @@ loop while keeping its results bit-identical:
    parallel, and cached builds all produce the same floats.
 
 Worker count resolution order: explicit argument > ``spec.workers`` >
-``configure(workers=…)`` > ``REPRO_WORKERS`` env > ``os.cpu_count()``.
+``configure(workers=…)`` > ``REPRO_WORKERS`` env > ``os.cpu_count()``;
+the resolved count is then capped at the number of pending (uncached)
+kernels so no idle process is ever spawned.
+
+Since PR 3 the parallel path runs under the supervisor in
+:mod:`.resilience`: per-kernel deadlines, bounded retries, crash
+isolation, quarantine, and checkpoint/resume.  ``supervise=False``
+selects the raw, unsupervised executor (used by the perf smoke to
+price the supervision layer).
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from ..analysis.framework.diagnostics import Severity
 from ..analysis.framework.lint import lint_kernel
@@ -33,8 +41,19 @@ from ..sim.measure import measure_kernel
 from ..targets.registry import get_target
 from ..tsvc.suite import all_kernels, get_kernel
 from ..vectorize.plan import VectorizationFailure
+from . import faultinject
 from .cache import MISS, MeasurementCache, default_cache
+from .faultinject import FaultPlan
 from .fingerprint import measurement_fingerprint
+from .resilience import (
+    CheckpointJournal,
+    FailureReport,
+    RetryPolicy,
+    SweepError,
+    default_checkpoint_dir,
+    journal_key,
+    run_supervised,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..experiments.dataset import DatasetSpec
@@ -47,6 +66,10 @@ class PipelineConfig:
     workers: Optional[int] = None
     cache_dir: Optional[str] = None
     cache_enabled: Optional[bool] = None
+    timeout: Optional[float] = None
+    max_attempts: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    resume: Optional[bool] = None
 
 
 _CONFIG = PipelineConfig()
@@ -56,12 +79,24 @@ def configure(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     cache_enabled: Optional[bool] = None,
+    timeout: Optional[float] = None,
+    max_attempts: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: Optional[bool] = None,
 ) -> PipelineConfig:
     """Set process-wide pipeline defaults; ``None`` leaves a field alone."""
     from .cache import set_default_cache
 
     if workers is not None:
         _CONFIG.workers = workers
+    if timeout is not None:
+        _CONFIG.timeout = timeout
+    if max_attempts is not None:
+        _CONFIG.max_attempts = max_attempts
+    if checkpoint_dir is not None:
+        _CONFIG.checkpoint_dir = checkpoint_dir
+    if resume is not None:
+        _CONFIG.resume = resume
     if cache_dir is not None or cache_enabled is not None:
         if cache_dir is not None:
             _CONFIG.cache_dir = cache_dir
@@ -81,18 +116,58 @@ def configure(
     return _CONFIG
 
 
-def resolve_workers(explicit: Optional[int] = None) -> int:
-    """Worker-count policy; always at least 1."""
+def resolve_workers(
+    explicit: Optional[int] = None, *, pending: Optional[int] = None
+) -> int:
+    """Worker-count policy; always at least 1.
+
+    A malformed ``REPRO_WORKERS`` (non-integer or <= 0) raises a
+    ``ValueError`` naming the variable instead of surfacing as a
+    confusing failure deep in the pool build.  ``pending`` (when
+    given) caps the count at the number of kernels actually waiting,
+    so a 64-worker request over 3 cache misses spawns 3 processes.
+    """
+    workers: Optional[int] = None
     for candidate in (explicit, _CONFIG.workers):
         if candidate is not None:
-            return max(1, int(candidate))
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
+            workers = max(1, int(candidate))
+            break
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS")
+        if env is not None and env.strip():
+            try:
+                value = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_WORKERS must be a positive integer, got {env!r}"
+                ) from None
+            if value <= 0:
+                raise ValueError(
+                    f"REPRO_WORKERS must be a positive integer, got {env!r}"
+                )
+            workers = value
+        else:
+            workers = os.cpu_count() or 1
+    if pending is not None:
+        workers = min(workers, max(1, pending))
+    return workers
+
+
+def resolve_timeout(explicit: Optional[float] = None) -> Optional[float]:
+    """Per-kernel deadline: explicit > ``configure`` > ``REPRO_TIMEOUT``."""
+    for candidate in (explicit, _CONFIG.timeout):
+        if candidate is not None:
+            return float(candidate) if candidate > 0 else None
+    env = os.environ.get("REPRO_TIMEOUT")
+    if env is not None and env.strip():
         try:
-            return max(1, int(env))
+            value = float(env)
         except ValueError:
-            pass
-    return os.cpu_count() or 1
+            raise ValueError(
+                f"REPRO_TIMEOUT must be a number of seconds, got {env!r}"
+            ) from None
+        return value if value > 0 else None
+    return None
 
 
 #: Kernels that already passed verify+lint, pinned by identity so the
@@ -135,8 +210,16 @@ def _measure_named(
     vectorizer: str,
     jitter: float,
     seed: int,
+    attempt: int = 0,
+    plan: Optional[FaultPlan] = None,
 ) -> Payload:
-    """Measure one kernel looked up by name (process-pool entry point)."""
+    """Measure one kernel looked up by name (process-pool entry point).
+
+    ``attempt``/``plan`` feed the fault-injection harness: any
+    scheduled crash/hang/transient fires here, before the measurement,
+    exactly where a real worker failure would land.
+    """
+    faultinject.perturb(plan, name, attempt)
     result = measure_kernel(
         get_kernel(name),
         get_target(target_name),
@@ -154,24 +237,69 @@ def _worker(args: tuple) -> tuple[str, Payload]:
     return name, _measure_named(name, target_name, vectorizer, jitter, seed)
 
 
+def _supervised_worker(task: tuple) -> tuple[str, Payload]:
+    """Supervised-pool entry point: ``((args…), attempt, plan)``."""
+    (name, target_name, vectorizer, jitter, seed), attempt, plan = task
+    return name, _measure_named(
+        name, target_name, vectorizer, jitter, seed, attempt, plan
+    )
+
+
 def measure_suite(
     spec: "DatasetSpec",
     *,
     workers: Optional[int] = None,
     cache: Optional[MeasurementCache] = None,
     prepass: Optional[bool] = None,
-) -> tuple[list[Sample], list[tuple[str, str]]]:
+    timeout: Optional[float] = None,
+    max_attempts: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    partial: bool = False,
+    resume: Optional[bool] = None,
+    checkpoint_dir=None,
+    supervise: bool = True,
+    faults: Union[FaultPlan, str, None] = None,
+):
     """Sweep the whole TSVC suite for one measurement spec.
 
     Returns ``(samples, failures)`` in suite registration order —
-    independent of worker count and cache state.  ``prepass`` controls
-    the verify+lint gate run before the cache is consulted (default
-    on; ``REPRO_PREPASS=0`` disables it).
+    independent of worker count, cache state, and any faults the
+    supervisor absorbed.  ``prepass`` controls the verify+lint gate
+    run before the cache is consulted (default on; ``REPRO_PREPASS=0``
+    disables it).
+
+    Fault tolerance (see :mod:`.resilience`): each uncached kernel
+    gets ``timeout`` seconds per attempt (``REPRO_TIMEOUT``) and up to
+    ``max_attempts`` tries (or a full ``retry`` policy); a kernel that
+    exhausts them is *quarantined*.  With ``partial=True`` the sweep
+    returns ``(samples, failures, report)`` — the surviving payloads
+    plus the structured :class:`FailureReport` — instead of raising
+    :class:`SweepError`.  When a checkpoint directory is active
+    (``checkpoint_dir`` / ``configure(checkpoint_dir=…)`` /
+    ``REPRO_CHECKPOINT_DIR``), completed payloads stream into a
+    journal and ``resume=True`` replays it, re-measuring only the
+    kernels the interrupted sweep never finished.  ``faults`` injects
+    deterministic chaos (a :class:`FaultPlan` or ``REPRO_FAULTS``-style
+    string; default: the environment's plan).
     """
     get_target(spec.target)  # validate the spec before any work
     if cache is None:
         cache = default_cache()
     workers = resolve_workers(workers if workers is not None else spec.workers)
+    timeout = resolve_timeout(timeout)
+    if retry is None:
+        if max_attempts is None:
+            max_attempts = _CONFIG.max_attempts
+        if max_attempts is None:
+            env = os.environ.get("REPRO_MAX_ATTEMPTS")
+            max_attempts = int(env) if env and env.strip() else 3
+        retry = RetryPolicy(max_attempts=max_attempts)
+    if isinstance(faults, str):
+        faults = faultinject.parse_faults(faults)
+    elif faults is None:
+        faults = faultinject.plan_from_env()
+    if resume is None:
+        resume = bool(_CONFIG.resume)
 
     kernels = list(all_kernels())
     if prepass is None:
@@ -192,20 +320,86 @@ def measure_suite(
         else:
             results[kern.name] = payload
 
+    journal = _resolve_journal(spec, checkpoint_dir)
+    if journal is not None:
+        if resume:
+            restored = journal.load(valid=set(fingerprints.values()))
+            by_fp = {fingerprints[n]: n for n in pending}
+            for fp, payload in restored.items():
+                name = by_fp.get(fp)
+                if name is not None:
+                    results[name] = payload
+                    cache.put(fp, payload)
+            pending = [n for n in pending if n not in results]
+        else:
+            journal.discard()  # a fresh sweep starts a fresh journal
+
+    report = FailureReport()
     if pending:
-        for name, payload in _run_pending(spec, pending, workers):
+        workers = resolve_workers(workers, pending=len(pending))
+
+        def on_complete(name: str, payload: Payload) -> None:
             results[name] = payload
             cache.put(fingerprints[name], payload)
+            faultinject.maybe_corrupt_cache(
+                faults, cache, fingerprints[name], name
+            )
+            if journal is not None:
+                journal.append(fingerprints[name], name, payload)
+
+        if supervise:
+            tasks = {
+                name: (name, spec.target, spec.vectorizer, spec.jitter, spec.seed)
+                for name in pending
+            }
+            report = run_supervised(
+                tasks,
+                _supervised_worker,
+                workers=workers,
+                policy=retry,
+                timeout=timeout,
+                plan=faults,
+                on_complete=on_complete,
+            )
+        else:
+            for name, payload in _run_pending(spec, pending, workers):
+                on_complete(name, payload)
+
+    if report.quarantined and not partial:
+        raise SweepError(report)
+    if journal is not None and not report.quarantined:
+        journal.discard()  # complete: nothing left to resume
 
     samples: list[Sample] = []
     failures: list[tuple[str, str]] = []
     for kern in kernels:
+        if kern.name not in results:  # quarantined
+            continue
         sample, reason = results[kern.name]
         if sample is None:
             failures.append((kern.name, reason))
         else:
             samples.append(sample)
+    if partial:
+        return samples, failures, report
     return samples, failures
+
+
+def _resolve_journal(
+    spec: "DatasetSpec", checkpoint_dir
+) -> Optional[CheckpointJournal]:
+    """The sweep's journal, or ``None`` when checkpointing is off."""
+    directory = checkpoint_dir or _CONFIG.checkpoint_dir
+    if directory is None and os.environ.get("REPRO_CHECKPOINT_DIR"):
+        directory = default_checkpoint_dir()
+    if directory is None:
+        return None
+    from .fingerprint import code_digest
+
+    key = journal_key(
+        code_digest(), spec.target, spec.vectorizer, spec.jitter, spec.seed
+    )
+    return CheckpointJournal.for_sweep(directory, key)
 
 
 def _run_pending(

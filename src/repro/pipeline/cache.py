@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -50,6 +51,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    write_errors: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -57,12 +59,14 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "write_errors": self.write_errors,
         }
 
     def __str__(self) -> str:
         return (
             f"cache: {self.hits} hits, {self.misses} misses, "
-            f"{self.stores} stores, {self.corrupt} corrupt"
+            f"{self.stores} stores, {self.corrupt} corrupt, "
+            f"{self.write_errors} write errors"
         )
 
 
@@ -120,7 +124,13 @@ class MeasurementCache:
         return payload
 
     def put(self, fp: str, payload) -> None:
-        """Store ``payload`` atomically (tmp file + rename)."""
+        """Store ``payload`` atomically (unique tmp file + rename).
+
+        A failed write — unwritable directory, full disk, a rename
+        that loses a race with a permission change — degrades to a
+        cold build and counts in ``stats.write_errors``; the temp file
+        is unlinked on every failure path so no orphan accumulates.
+        """
         if not self.enabled:
             return
         path = self._path(fp)
@@ -129,15 +139,29 @@ class MeasurementCache:
             "fingerprint": fp,
             "payload": payload,
         }
+        tmp_name: Optional[str] = None
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-            with open(tmp, "wb") as f:
+            with tempfile.NamedTemporaryFile(
+                mode="wb",
+                dir=path.parent,
+                prefix=f".{path.name}.",
+                suffix=".tmp",
+                delete=False,
+            ) as f:
+                tmp_name = f.name
                 pickle.dump(entry, f, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
+            os.replace(tmp_name, path)
+            tmp_name = None  # renamed away: nothing to clean up
         except OSError:
-            # An unwritable cache dir degrades to cold builds, nothing more.
+            self.stats.write_errors += 1
             return
+        finally:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
         self.stats.stores += 1
 
     def clear(self) -> int:

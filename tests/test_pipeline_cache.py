@@ -80,6 +80,7 @@ def test_bypass_reads_and_writes_nothing(tmp_path):
         "misses": 0,
         "stores": 0,
         "corrupt": 0,
+        "write_errors": 0,
     }
     assert cache.get(fp) == (None, "cached")  # and was not overwritten
 
@@ -148,6 +149,7 @@ def test_unwritable_root_degrades_gracefully(tmp_path):
     cache = MeasurementCache(root=target)
     cache.put(fp_for(SPEC), (None, "x"))  # must not raise
     assert cache.stats.stores == 0
+    assert cache.stats.write_errors == 1
 
 
 # -- integration with measure_suite ------------------------------------------

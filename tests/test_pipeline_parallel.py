@@ -65,8 +65,22 @@ def test_resolve_workers_env(monkeypatch):
     monkeypatch.setenv("REPRO_WORKERS", "3")
     assert resolve_workers() == 3
     assert resolve_workers(2) == 2  # explicit beats env
-    monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
-    assert resolve_workers() >= 1
+
+
+@pytest.mark.parametrize("bad", ["not-a-number", "0", "-2", "2.5"])
+def test_resolve_workers_invalid_env_raises(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_WORKERS", bad)
+    with pytest.raises(ValueError, match="REPRO_WORKERS"):
+        resolve_workers()
+    # An explicit count never consults the env var.
+    assert resolve_workers(2) == 2
+
+
+def test_workers_capped_at_pending_kernels(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_workers(16, pending=3) == 3
+    assert resolve_workers(2, pending=100) == 2
+    assert resolve_workers(16, pending=0) == 1
 
 
 def test_spec_workers_flow_through(tmp_path):
