@@ -77,6 +77,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print cache hit/miss statistics after the run",
     )
+    pipe.add_argument(
+        "--compile-stats",
+        action="store_true",
+        help="print kernel-compiler statistics (vector/scalar split, "
+        "demotions, cache hit rate) after the run",
+    )
     fault = parser.add_argument_group("fault tolerance")
     fault.add_argument(
         "--timeout",
@@ -142,6 +148,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{eid} completed in {time.time() - t0:.1f}s]\n")
     if args.cache_stats:
         print(f"[{default_cache().stats}]")
+    if args.compile_stats:
+        from ..sim import compile_summary
+
+        summary = compile_summary()
+        print(
+            "[compile] "
+            + ", ".join(f"{k}={v}" for k, v in summary.items())
+        )
     return 0
 
 

@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from ..costmodel.base import Sample
-from ..pipeline.build import measure_suite
+from ..pipeline.build import DatasetBuildStats, measure_suite
 from ..pipeline.resilience import FailureReport
 
 #: Default measurement jitter (σ of the multiplicative noise); roughly
@@ -64,6 +64,9 @@ class Dataset:
     #: partial dataset is still fully usable — every consumer works
     #: from ``samples`` — but reports must surface the gap.
     quarantined: FailureReport = field(default_factory=FailureReport)
+    #: How the sweep was scheduled (serial vs pool, and why) — filled
+    #: by ``measure_suite``; a fully cached build reads ``"none"``.
+    build_stats: DatasetBuildStats = field(default_factory=DatasetBuildStats)
     _by_name: dict[str, Sample] = field(
         init=False, repr=False, compare=False, default_factory=dict
     )
@@ -126,9 +129,12 @@ def build_dataset(spec: Optional[DatasetSpec] = None, **kwargs) -> Dataset:
         # partial=True: a kernel the resilient sweep had to quarantine
         # shrinks the dataset (and is reported) instead of killing the
         # experiment that asked for it.
-        samples, failures, report = measure_suite(spec, partial=True)
+        stats = DatasetBuildStats()
+        samples, failures, report = measure_suite(
+            spec, partial=True, stats=stats
+        )
         ds = _MEMO.setdefault(
-            spec.identity, Dataset(spec, samples, failures, report)
+            spec.identity, Dataset(spec, samples, failures, report, stats)
         )
     return ds
 

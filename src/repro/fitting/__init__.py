@@ -2,7 +2,7 @@
 
 from .base import FitError, Regressor, check_Xy, residual_norm
 from .l2 import LeastSquares
-from .nnls import NonNegativeLeastSquares
+from .nnls import KKT_TOL, NonNegativeLeastSquares, nnls_warm_start
 from .svr import LinearSVR
 from .scaling import ScaledRegressor, StandardScaler
 
@@ -26,6 +26,8 @@ __all__ = [
     "residual_norm",
     "LeastSquares",
     "NonNegativeLeastSquares",
+    "KKT_TOL",
+    "nnls_warm_start",
     "LinearSVR",
     "ScaledRegressor",
     "StandardScaler",

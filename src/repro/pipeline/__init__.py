@@ -6,8 +6,12 @@ DESIGN.md §"Measurement pipeline" for the architecture and
 """
 
 from .build import (
+    DatasetBuildStats,
     PipelineConfig,
+    ScheduleDecision,
+    choose_strategy,
     configure,
+    estimate_kernel_work,
     measure_suite,
     resolve_timeout,
     resolve_workers,
@@ -45,7 +49,11 @@ from .fingerprint import (
 )
 
 __all__ = [
+    "DatasetBuildStats",
     "PipelineConfig",
+    "ScheduleDecision",
+    "choose_strategy",
+    "estimate_kernel_work",
     "configure",
     "measure_suite",
     "resolve_timeout",

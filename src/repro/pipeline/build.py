@@ -170,6 +170,130 @@ def resolve_timeout(explicit: Optional[float] = None) -> Optional[float]:
     return None
 
 
+# ---------------------------------------------------------------------------
+# Cost-aware scheduling
+# ---------------------------------------------------------------------------
+
+#: Rough cost of spawning one pool worker (interpreter start + package
+#: import + pickle round-trips), in the same abstract work units as
+#: :func:`estimate_kernel_work` (~microseconds of serial time).
+POOL_SPAWN_WORK = 250_000.0
+#: Minimum work a pool chunk should carry to amortize per-task IPC.
+CHUNK_MIN_WORK = 20_000.0
+
+
+@dataclass
+class DatasetBuildStats:
+    """How one ``measure_suite`` sweep was actually scheduled.
+
+    Filled in place when callers pass ``stats=`` — the BENCH artifact
+    and dataset reports use it to distinguish a genuine parallel win
+    from a deliberate, logged serial fallback.
+    """
+
+    total_kernels: int = 0
+    cached: int = 0
+    measured: int = 0
+    strategy: str = "none"  # "pool" | "serial" | "none" (fully cached)
+    workers: int = 1
+    chunksize: int = 1
+    estimated_work: float = 0.0
+    reason: str = ""
+    supervised: bool = True
+
+
+@dataclass(frozen=True)
+class ScheduleDecision:
+    strategy: str  # "pool" | "serial"
+    workers: int
+    chunksize: int
+    estimated_work: float
+    reason: str
+
+
+def estimate_kernel_work(kernel) -> float:
+    """Estimated cost of one cache-miss measurement, in ~µs of serial time.
+
+    The analytic timing model is near-constant; the dominant variable
+    cost is guard-probability estimation, which executes the kernel for
+    up to ``GUARD_SAMPLE_ITERS`` inner iterations — through the kernel
+    compiler when enabled, through the tree-walking interpreter when
+    ``REPRO_COMPILE=0``.
+    """
+    from ..ir.stmt import IfBlock
+    from ..sim.compile import compile_enabled
+    from ..sim.measure import GUARD_SAMPLE_ITERS
+
+    stmts = max(1, sum(1 for _ in kernel.stmts()))
+    work = 2000.0 + 50.0 * stmts
+    if any(isinstance(s, IfBlock) for s in kernel.stmts()):
+        inner = min(kernel.inner.trip, GUARD_SAMPLE_ITERS)
+        outer = (
+            1
+            if kernel.depth == 1
+            else min(kernel.loops[0].trip, max(1, GUARD_SAMPLE_ITERS // 4))
+        )
+        if compile_enabled():
+            # One-time compile + self-check, then a cheap compiled run.
+            work += 5000.0 + 0.02 * stmts * inner * outer
+        else:
+            work += 2.0 * stmts * inner * outer
+    return work
+
+
+def choose_strategy(
+    work: list[float],
+    workers: int,
+    *,
+    faults_active: bool = False,
+    timeout: Optional[float] = None,
+) -> ScheduleDecision:
+    """Serial vs process pool, so the parallel path is never slower.
+
+    A pool only pays off when the work it can take off the main process
+    exceeds what spawning the workers costs — never true on a 1-CPU
+    host, and rarely true for a compiled-executor sweep.  Two features
+    force the pool regardless: an active fault plan (injected faults
+    must land in real worker processes) and a per-kernel timeout (only
+    a worker process can be killed mid-kernel).
+    """
+    total = float(sum(work))
+    tasks = len(work)
+    workers = min(workers, max(1, tasks))
+    if faults_active or timeout is not None:
+        reason = (
+            "fault plan active" if faults_active else "per-kernel timeout set"
+        )
+        if workers > 1 and tasks > 1:
+            return ScheduleDecision("pool", workers, 1, total, reason)
+        return ScheduleDecision("serial", 1, 1, total, reason)
+    if workers <= 1 or tasks <= 1:
+        return ScheduleDecision("serial", 1, 1, total, "single worker or task")
+    if (os.cpu_count() or 1) == 1:
+        return ScheduleDecision("serial", 1, 1, total, "cpu_count is 1")
+    # Pool wins iff spawn overhead < work taken off the main process.
+    savings = total * (1.0 - 1.0 / workers)
+    overhead = POOL_SPAWN_WORK * workers
+    if overhead >= savings:
+        return ScheduleDecision(
+            "serial",
+            1,
+            1,
+            total,
+            f"estimated work {total:.0f} below pool overhead {overhead:.0f}",
+        )
+    mean = total / tasks
+    chunk = max(
+        tasks // (4 * workers),
+        int(CHUNK_MIN_WORK / mean) if mean > 0 else 1,
+        1,
+    )
+    chunk = min(chunk, max(1, tasks // workers))
+    return ScheduleDecision(
+        "pool", workers, chunk, total, "estimated work amortizes pool spawn"
+    )
+
+
 #: Kernels that already passed verify+lint, pinned by identity so the
 #: check runs once per kernel object per process (warm rebuilds pay a
 #: set lookup, nothing more).
@@ -259,6 +383,7 @@ def measure_suite(
     checkpoint_dir=None,
     supervise: bool = True,
     faults: Union[FaultPlan, str, None] = None,
+    stats: Optional[DatasetBuildStats] = None,
 ):
     """Sweep the whole TSVC suite for one measurement spec.
 
@@ -281,6 +406,11 @@ def measure_suite(
     kernels the interrupted sweep never finished.  ``faults`` injects
     deterministic chaos (a :class:`FaultPlan` or ``REPRO_FAULTS``-style
     string; default: the environment's plan).
+
+    Scheduling is cost-aware: per-kernel work estimates decide between
+    a serial sweep and a process pool (and its chunk size) so the
+    parallel path is never slower than serial.  Pass a
+    :class:`DatasetBuildStats` as ``stats`` to receive the decision.
     """
     get_target(spec.target)  # validate the spec before any work
     if cache is None:
@@ -335,8 +465,31 @@ def measure_suite(
             journal.discard()  # a fresh sweep starts a fresh journal
 
     report = FailureReport()
+    if stats is not None:
+        stats.total_kernels = len(kernels)
+        stats.cached = len(results)
+        stats.measured = len(pending)
+        stats.supervised = supervise
+        stats.strategy, stats.workers, stats.chunksize = "none", 1, 1
     if pending:
         workers = resolve_workers(workers, pending=len(pending))
+        by_name = {k.name: k for k in kernels}
+        faults_active = faults is not None and any(
+            float(r) > 0 for r in faults.rates.values()
+        )
+        decision = choose_strategy(
+            [estimate_kernel_work(by_name[n]) for n in pending],
+            workers,
+            faults_active=faults_active,
+            timeout=timeout,
+        )
+        workers = decision.workers
+        if stats is not None:
+            stats.strategy = decision.strategy
+            stats.workers = decision.workers
+            stats.chunksize = decision.chunksize
+            stats.estimated_work = decision.estimated_work
+            stats.reason = decision.reason
 
         def on_complete(name: str, payload: Payload) -> None:
             results[name] = payload
@@ -362,7 +515,9 @@ def measure_suite(
                 on_complete=on_complete,
             )
         else:
-            for name, payload in _run_pending(spec, pending, workers):
+            for name, payload in _run_pending(
+                spec, pending, workers, decision.chunksize
+            ):
                 on_complete(name, payload)
 
     if report.quarantined and not partial:
@@ -403,7 +558,7 @@ def _resolve_journal(
 
 
 def _run_pending(
-    spec: "DatasetSpec", names: list[str], workers: int
+    spec: "DatasetSpec", names: list[str], workers: int, chunksize: int = 1
 ):
     """Yield ``(name, payload)`` for every uncached kernel."""
     args = [
@@ -413,7 +568,7 @@ def _run_pending(
     if workers > 1 and len(names) > 1:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                chunk = max(1, len(args) // (4 * workers))
+                chunk = max(1, chunksize)
                 yield from pool.map(_worker, args, chunksize=chunk)
             return
         except (OSError, PermissionError, ImportError):

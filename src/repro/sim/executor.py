@@ -29,7 +29,6 @@ from ..ir.expr import (
     Affine,
     BinOp,
     BinOpKind,
-    CmpKind,
     Compare,
     Const,
     Convert,
@@ -40,20 +39,13 @@ from ..ir.expr import (
     ScalarRef,
     Select,
     UnOp,
-    UnOpKind,
 )
 from ..ir.kernel import LoopKernel
 from ..ir.stmt import ArrayStore, IfBlock, ScalarAssign, Stmt
 from ..ir.types import DType
 from ..vectorize.plan import VectorizationPlan
-
-NP_DTYPE = {
-    DType.F32: np.float32,
-    DType.F64: np.float64,
-    DType.I32: np.int32,
-    DType.I64: np.int64,
-    DType.BOOL: np.bool_,
-}
+from . import ufuncs
+from .ufuncs import BINOPS, CMPS, NP_DTYPE, UNOPS, cast_value
 
 
 def make_buffers(kernel: LoopKernel, seed: int = 0) -> dict[str, np.ndarray]:
@@ -155,44 +147,14 @@ def eval_expr(expr: Expr, ctx: _Ctx):
 
 
 def _cast(x, dtype: DType):
-    target = NP_DTYPE[dtype]
-    arr = np.asarray(x)
-    if arr.dtype == target:
-        return x
-    out = arr.astype(target)
-    return out if out.shape else out[()]
+    return cast_value(x, NP_DTYPE[dtype])
 
 
-_BINOPS = {
-    BinOpKind.ADD: np.add,
-    BinOpKind.SUB: np.subtract,
-    BinOpKind.MUL: np.multiply,
-    BinOpKind.DIV: np.divide,
-    BinOpKind.MIN: np.minimum,
-    BinOpKind.MAX: np.maximum,
-    BinOpKind.AND: np.bitwise_and,
-    BinOpKind.OR: np.bitwise_or,
-    BinOpKind.XOR: np.bitwise_xor,
-    BinOpKind.SHL: np.left_shift,
-    BinOpKind.SHR: np.right_shift,
-}
-
-_UNOPS = {
-    UnOpKind.NEG: np.negative,
-    UnOpKind.ABS: np.abs,
-    UnOpKind.SQRT: lambda x: np.sqrt(np.abs(x)),  # guard against NaN domains
-    UnOpKind.EXP: np.exp,
-    UnOpKind.NOT: np.logical_not,
-}
-
-_CMPS = {
-    CmpKind.LT: np.less,
-    CmpKind.LE: np.less_equal,
-    CmpKind.GT: np.greater,
-    CmpKind.GE: np.greater_equal,
-    CmpKind.EQ: np.equal,
-    CmpKind.NE: np.not_equal,
-}
+# One shared operator table (see repro.sim.ufuncs): the interpreter and
+# the kernel compiler must agree bit-for-bit, so neither owns a copy.
+_BINOPS = BINOPS
+_UNOPS = UNOPS
+_CMPS = CMPS
 
 
 # ---------------------------------------------------------------------------
@@ -232,10 +194,56 @@ def run_scalar(
     scalars: Optional[dict] = None,
     max_inner_iters: Optional[int] = None,
 ) -> ExecResult:
+    """Execute the kernel with C scalar semantics, mutating ``bufs``.
+
+    The hot-path entry point: routes through the kernel compiler
+    (:mod:`.compile`) unless ``REPRO_COMPILE=0``, falling back to the
+    tree-walking interpreter — the correctness oracle, pinned to the
+    compiled path by the suite-wide bit-identity tests — when
+    compilation is disabled or refuses the kernel.  ``max_inner_iters``
+    truncates the inner trip count (used for cheap branch-probability
+    estimation).
+    """
+    fires_before = ufuncs.sqrt_guard_fires()
+    result = None
+    if os.environ.get("REPRO_COMPILE", "1") != "0":
+        from .compile import CompileError, run_scalar_compiled
+
+        try:
+            result = run_scalar_compiled(kernel, bufs, scalars, max_inner_iters)
+        except CompileError as exc:
+            _remark(
+                kernel,
+                f"kernel not compilable ({exc}); interpreting",
+                warning=True,
+            )
+    if result is None:
+        result = run_scalar_interpreted(kernel, bufs, scalars, max_inner_iters)
+    if ufuncs.sqrt_guard_fires() > fires_before:
+        _remark(
+            kernel,
+            "sqrt domain guard fired: negative input evaluated as sqrt(|x|)",
+        )
+    return result
+
+
+def _remark(kernel: LoopKernel, message: str, warning: bool = False) -> None:
+    from ..analysis.framework.passmanager import default_manager
+
+    diags = default_manager().diagnostics
+    (diags.warning if warning else diags.remark)("executor", kernel.name, message)
+
+
+def run_scalar_interpreted(
+    kernel: LoopKernel,
+    bufs: dict[str, np.ndarray],
+    scalars: Optional[dict] = None,
+    max_inner_iters: Optional[int] = None,
+) -> ExecResult:
     """Interpret the kernel with scalar semantics, mutating ``bufs``.
 
-    ``max_inner_iters`` truncates the inner trip count (used for cheap
-    branch-probability estimation).
+    One iteration at a time, one tree walk per statement — slow, simple,
+    and the semantic ground truth the compiled paths are tested against.
     """
     env = dict(scalars) if scalars is not None else initial_scalars(kernel)
     stats = _GuardStats()

@@ -11,7 +11,12 @@ from .metrics import (
     rmse,
     spearman,
 )
-from .loocv import kfold_predictions, loocv_predictions
+from .loocv import (
+    fast_loocv_eligible,
+    kfold_predictions,
+    loocv_predictions,
+    warm_nnls_eligible,
+)
 from .decisions import (
     PolicyOutcome,
     always_cycles,
@@ -32,6 +37,8 @@ __all__ = [
     "spearman",
     "kfold_predictions",
     "loocv_predictions",
+    "fast_loocv_eligible",
+    "warm_nnls_eligible",
     "PolicyOutcome",
     "always_cycles",
     "never_cycles",

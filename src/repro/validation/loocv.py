@@ -9,9 +9,14 @@ factorization through the hat-matrix identity
 
     ŷ₋ᵢ(xᵢ) = (ŷᵢ − hᵢᵢ yᵢ) / (1 − hᵢᵢ),
 
-where ``h`` is the diagonal of the smoother X(XᵀX + λI)⁻¹Xᵀ.  The
-refit loop remains the generic fallback for NNLS/SVR (whose active-set
-constraints break the identity) and for near-unit-leverage rows.
+where ``h`` is the diagonal of the smoother X(XᵀX + λI)⁻¹Xᵀ.
+
+NNLS folds get a cheaper loop of their own: each deleted-row problem is
+warm-started from the full fit's active set (one restricted ``lstsq``
+plus a KKT certificate, see :func:`repro.fitting.nnls.nnls_warm_start`)
+and only the folds whose certificate fails pay for a cold Lawson–Hanson
+solve.  The naive refit loop remains the generic fallback for SVR and
+for rows neither fast path can certify.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from ..costmodel.base import EPS, FittedModel, Sample
 from ..costmodel.speedup import SpeedupModel
 from ..fitting.base import FitError, check_Xy
 from ..fitting.l2 import LeastSquares
+from ..fitting.nnls import NonNegativeLeastSquares, nnls_warm_start
 
 ModelFactory = Callable[[], FittedModel]
 
@@ -45,20 +51,31 @@ def loocv_predictions(
     samples = list(samples)
     if fast and len(samples) >= 2:
         probe = factory()
+        preds = None
         if fast_loocv_eligible(probe):
             preds = _fast_l2_predictions(probe, samples)
-            if preds is not None:
-                bad = np.nonzero(~np.isfinite(preds))[0]
-                if bad.size:
-                    refit = _refit_predictions(factory, samples, indices=bad)
-                    preds[bad] = refit[bad]
-                return preds
+        elif warm_nnls_eligible(probe):
+            preds = _warm_nnls_predictions(probe, samples)
+        if preds is not None:
+            bad = np.nonzero(~np.isfinite(preds))[0]
+            if bad.size:
+                refit = _refit_predictions(factory, samples, indices=bad)
+                preds[bad] = refit[bad]
+            return preds
     return _refit_predictions(factory, samples)
 
 
 def fast_loocv_eligible(model: FittedModel) -> bool:
     """The hat-matrix path handles exactly the L2 speedup models."""
     return isinstance(model, SpeedupModel) and type(model.regressor) is LeastSquares
+
+
+def warm_nnls_eligible(model: FittedModel) -> bool:
+    """The warm-start path handles exactly the NNLS speedup models."""
+    return (
+        isinstance(model, SpeedupModel)
+        and type(model.regressor) is NonNegativeLeastSquares
+    )
 
 
 def _refit_predictions(
@@ -109,6 +126,49 @@ def _fast_l2_predictions(
     ok = np.abs(denom) > LEVERAGE_TOL
     raw[ok] = (yhat[ok] - h[ok] * y[ok]) / denom[ok]
     # Re-apply predict_speedup's clipping so both paths agree exactly.
+    if model.clip_to_vf:
+        vf = np.array([float(smp.vf) for smp in samples])
+        raw[ok] = np.clip(raw[ok], EPS, vf[ok])
+    else:
+        raw[ok] = np.maximum(raw[ok], EPS)
+    return raw
+
+
+def _warm_nnls_predictions(
+    model: SpeedupModel, samples: list[Sample]
+) -> Optional[np.ndarray]:
+    """Out-of-fold NNLS predictions warm-started from the full fit.
+
+    One cold Lawson–Hanson solve fixes the active-set guess; every fold
+    then costs a single restricted ``lstsq`` plus a KKT certificate.
+    Folds whose certificate fails (the deleted row *did* change the
+    active set) are left NaN for the caller's cold-refit fallback, so
+    every prediction comes from a true per-fold NNLS optimum.  On
+    rank-deficient designs the optimum need not be unique: warm and
+    cold solvers can return different minimizers of identical residual
+    norm, so equivalence checks must compare objectives, not weights.
+    """
+    try:
+        X, y = check_Xy(*model.training_data(samples))
+    except FitError:
+        return None
+    full = NonNegativeLeastSquares()
+    try:
+        full.fit(X, y)
+    except FitError:
+        return None
+    support = full.support_
+    n = len(samples)
+    raw = np.full(n, np.nan)
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        mask[i] = False
+        w = nnls_warm_start(X[mask], y[mask], support)
+        mask[i] = True
+        if w is not None:
+            raw[i] = float(X[i] @ w)
+    # Re-apply predict_speedup's clipping so both paths agree exactly.
+    ok = np.isfinite(raw)
     if model.clip_to_vf:
         vf = np.array([float(smp.vf) for smp in samples])
         raw[ok] = np.clip(raw[ok], EPS, vf[ok])

@@ -381,8 +381,11 @@ def test_degrades_to_serial_when_pool_unavailable(tmp_path, monkeypatch):
     monkeypatch.setattr(res_mod, "ProcessPoolExecutor", no_pool)
     pipeline_diagnostics().clear()
     clean, clean_fail = clean_sweep(tmp_path)
+    # A per-kernel timeout forces a pool request — without one the
+    # cost-aware scheduler may legitimately choose serial upfront and
+    # the degradation path under test would never run.
     samples, failures, report = measure_suite(
-        SPEC, workers=4, cache=no_cache(tmp_path), partial=True
+        SPEC, workers=4, cache=no_cache(tmp_path), partial=True, timeout=600.0
     )
     assert report.degraded_to_serial
     assert not report.quarantined
