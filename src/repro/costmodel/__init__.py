@@ -19,6 +19,15 @@ from .featurize import (
     rated,
 )
 from .llvm_like import LLVMLikeCostModel, SCALAR_COSTS, VECTOR_COSTS
+from .matrix import (
+    MatrixBundle,
+    clear_matrix_cache,
+    design_matrix,
+    get_bundle,
+    matrix_cache_disabled,
+    matrix_cache_info,
+    samples_fingerprint,
+)
 from .linear import LinearCostModel
 from .speedup import SpeedupModel, count_features, vector_count_features
 from .rated import RatedSpeedupModel, rated_features, rated_with_vf
@@ -46,6 +55,13 @@ __all__ = [
     "LLVMLikeCostModel",
     "SCALAR_COSTS",
     "VECTOR_COSTS",
+    "MatrixBundle",
+    "clear_matrix_cache",
+    "design_matrix",
+    "get_bundle",
+    "matrix_cache_disabled",
+    "matrix_cache_info",
+    "samples_fingerprint",
     "LinearCostModel",
     "SpeedupModel",
     "count_features",

@@ -79,6 +79,15 @@ class FittedModel(CostModel, Protocol):
 
 
 def predict_all(model: CostModel, samples: Sequence[Sample]) -> np.ndarray:
+    """Predicted speedup for every sample.
+
+    Models exposing ``predict_batch`` (the built-in family) answer
+    with one matrix product over the shared feature bundle; anything
+    else falls back to the per-sample loop.
+    """
+    batch = getattr(model, "predict_batch", None)
+    if batch is not None and len(samples) > 0:
+        return np.asarray(batch(samples), dtype=np.float64)
     return np.array([model.predict_speedup(s) for s in samples])
 
 

@@ -29,6 +29,7 @@ from ..targets.classes import (
     MEMORY_CLASSES,
     OVERHEAD_CLASSES,
 )
+from . import matrix
 from .base import Sample
 from .featurize import rated
 from .speedup import SpeedupModel
@@ -78,6 +79,31 @@ def extended_features(sample: Sample) -> np.ndarray:
         ]
     )
     return np.concatenate([vec_rated, scal_rated, engineered])
+
+
+def _extended_batch(b: "matrix.MatrixBundle") -> np.ndarray:
+    """Row-for-row vectorization of :func:`extended_features`."""
+    vec = b.vector_features
+    mem_bytes = vec[:, _MEM_MASK].sum(axis=1) * 4.0
+    ops = vec[:, _COMPUTE_MASK].sum(axis=1)
+    intensity = np.where(
+        mem_bytes <= 0, ops, ops / np.where(mem_bytes > 0, mem_bytes, 1.0)
+    )
+    total = np.maximum(vec.sum(axis=1), 1e-12)
+    engineered = np.stack(
+        [
+            b.vf,
+            intensity,
+            vec[:, _MEM_MASK].sum(axis=1) / total,
+            vec[:, _OVH_MASK].sum(axis=1) / total,
+            vec[:, _COMPUTE_MASK].sum(axis=1) / total,
+        ],
+        axis=1,
+    )
+    return np.concatenate([rated(vec), rated(b.scalar_features), engineered], axis=1)
+
+
+matrix.register_featurizer(extended_features, "extended", _extended_batch)
 
 
 class ExtendedSpeedupModel(SpeedupModel):

@@ -24,8 +24,21 @@ from typing import Sequence
 import numpy as np
 
 from ..fitting.base import Regressor
+from . import matrix
 from .base import EPS, Sample
 from .llvm_like import LLVMLikeCostModel
+from .speedup import vector_count_features
+
+#: Default-table static model used for batch target construction; the
+#: cost tables are module constants, so one instance serves all.
+_STATIC = LLVMLikeCostModel()
+
+matrix.register_target(
+    "implied_cost",
+    lambda b: b.vf
+    * (b.scalar_features @ _STATIC._scalar_w)
+    / np.maximum(b.measured, EPS),
+)
 
 
 class LinearCostModel:
@@ -50,8 +63,10 @@ class LinearCostModel:
     def training_data(
         self, samples: Sequence[Sample]
     ) -> tuple[np.ndarray, np.ndarray]:
-        X = np.stack([s.vector_features for s in samples])
-        y = np.array([self.implied_vector_cost(s) for s in samples])
+        # Shared (read-only) matrices from the dataset bundle: the raw
+        # vector-block counts and the measurement-implied cost targets.
+        X = matrix.design_matrix(samples, vector_count_features)
+        y = matrix.target_vector(samples, "implied_cost")
         return X, y
 
     # -- model interface ------------------------------------------------------
@@ -70,6 +85,16 @@ class LinearCostModel:
     def predict_speedup(self, sample: Sample) -> float:
         cost = max(self.vector_cost(sample), EPS)
         return sample.vf * self._static.scalar_cost(sample) / cost
+
+    def predict_batch(self, samples: Sequence[Sample]) -> np.ndarray:
+        """All speedup estimates in one matrix product."""
+        if not self._fitted:
+            raise RuntimeError("predict before fit")
+        b = matrix.get_bundle(samples)
+        costs = np.maximum(
+            np.asarray(self.regressor.predict(b.vector_features)), EPS
+        )
+        return b.vf * (b.scalar_features @ self._static._scalar_w) / costs
 
     @property
     def weights(self) -> np.ndarray:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..targets.classes import FEATURE_ORDER, IClass
+from . import matrix
 from .base import EPS, Sample
 
 #: Static per-class costs for scalar instructions.
@@ -85,6 +86,13 @@ class LLVMLikeCostModel:
         return sample.vf * self.scalar_cost(sample) / max(
             self.vector_cost(sample), EPS
         )
+
+    def predict_batch(self, samples) -> np.ndarray:
+        """All static speedup estimates from the shared feature bundle."""
+        b = matrix.get_bundle(samples)
+        scalar = b.scalar_features @ self._scalar_w
+        vector = np.maximum(b.vector_features @ self._vector_w, EPS)
+        return b.vf * scalar / vector
 
     def fit(self, samples) -> "LLVMLikeCostModel":
         """No-op: the baseline is table-driven, not fitted."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..fitting.base import Regressor
+from . import matrix
 from .base import Sample
 from .featurize import rated
 from .speedup import SpeedupModel
@@ -25,6 +26,11 @@ from .speedup import SpeedupModel
 def rated_features(sample: Sample) -> np.ndarray:
     """Composition (fraction-of-block) features of the vector block."""
     return rated(sample.vector_features)
+
+
+matrix.register_featurizer(
+    rated_features, "rated", lambda b: rated(b.vector_features)
+)
 
 
 class RatedSpeedupModel(SpeedupModel):
@@ -46,3 +52,10 @@ def rated_with_vf(sample: Sample) -> np.ndarray:
     speedup; appending VF restores it.  Used by the ablation bench.
     """
     return np.concatenate([rated(sample.vector_features), [float(sample.vf)]])
+
+
+matrix.register_featurizer(
+    rated_with_vf,
+    "rated+vf",
+    lambda b: np.concatenate([rated(b.vector_features), b.vf[:, None]], axis=1),
+)

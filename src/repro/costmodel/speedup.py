@@ -18,6 +18,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..fitting.base import Regressor
+from . import matrix
 from .base import EPS, Sample
 
 
@@ -36,6 +37,16 @@ def count_features(sample: Sample) -> np.ndarray:
     (dropping them inflates false negatives dramatically).
     """
     return np.concatenate([sample.scalar_features, sample.vector_features])
+
+
+matrix.register_featurizer(
+    vector_count_features, "vector-counts", lambda b: b.vector_features
+)
+matrix.register_featurizer(
+    count_features,
+    "counts",
+    lambda b: np.concatenate([b.scalar_features, b.vector_features], axis=1),
+)
 
 
 class SpeedupModel:
@@ -57,8 +68,12 @@ class SpeedupModel:
     def training_data(
         self, samples: Sequence[Sample]
     ) -> tuple[np.ndarray, np.ndarray]:
-        X = np.stack([self.feature_fn(s) for s in samples])
-        y = np.array([s.measured_speedup for s in samples])
+        # Registered featurizers draw from the shared matrix bundle
+        # (built once per dataset fingerprint); custom feature_fns are
+        # stacked per-sample exactly as before.  The returned arrays
+        # may be shared — treat them as read-only.
+        X = matrix.design_matrix(samples, self.feature_fn)
+        y = matrix.target_vector(samples, "speedup")
         return X, y
 
     def fit(self, samples: Sequence[Sample]) -> "SpeedupModel":
@@ -74,6 +89,22 @@ class SpeedupModel:
         if self.clip_to_vf:
             return float(np.clip(raw, EPS, float(sample.vf)))
         return max(raw, EPS)
+
+    def predict_batch(self, samples: Sequence[Sample]) -> np.ndarray:
+        """All speedup predictions in one matrix product.
+
+        Row-for-row this is ``[predict_speedup(s) for s in samples]``:
+        the design matrix stacks the same per-sample feature rows and
+        the clipping matches ``predict_speedup`` exactly.
+        """
+        if not self._fitted:
+            raise RuntimeError("predict before fit")
+        X = matrix.design_matrix(samples, self.feature_fn)
+        raw = np.asarray(self.regressor.predict(X), dtype=np.float64)
+        if self.clip_to_vf:
+            vf = np.array([float(s.vf) for s in samples])
+            return np.clip(raw, EPS, vf)
+        return np.maximum(raw, EPS)
 
     @property
     def weights(self) -> np.ndarray:

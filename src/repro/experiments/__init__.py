@@ -1,6 +1,13 @@
 """Experiment drivers reproducing every figure of the paper."""
 
-from .base import ExperimentResult
+from .base import (
+    ExperimentResult,
+    clear_engine_cache,
+    engine_cache_disabled,
+    engine_cache_info,
+    fit_cached,
+    loocv_cached,
+)
 from .dataset import (
     ARM_LLV,
     DEFAULT_JITTER,
@@ -13,9 +20,19 @@ from .dataset import (
 from .categories import category_report, worst_categories
 from .registry import EXPERIMENTS, run_all, run_experiment
 from .reporting import ascii_table, fail_summary, text_scatter
+from .scheduler import SuiteRun, bench_suite, run_suite, seed_mode
 
 __all__ = [
     "ExperimentResult",
+    "clear_engine_cache",
+    "engine_cache_disabled",
+    "engine_cache_info",
+    "fit_cached",
+    "loocv_cached",
+    "SuiteRun",
+    "bench_suite",
+    "run_suite",
+    "seed_mode",
     "ARM_LLV",
     "DEFAULT_JITTER",
     "Dataset",

@@ -1,9 +1,13 @@
 """CLI: ``python -m repro.experiments [E1 E2 … | all] [--no-scatter]``.
 
-Runs the requested paper-figure reproductions and prints their tables
-and text scatters.  Measurement-pipeline knobs (worker processes, the
-persistent cache) are configured here and apply to every dataset the
-selected experiments build.
+Runs the requested paper-figure reproductions through the suite
+scheduler — shared dataset builds, shared fitted models, drivers on a
+bounded executor (``--serial`` / ``--jobs`` control it) — and prints
+their tables and text scatters.  ``--bench`` times the engine against
+the per-driver seed path and writes ``BENCH_experiments.json``.
+Measurement-pipeline knobs (worker processes, the persistent cache)
+are configured here and apply to every dataset the selected
+experiments build.
 
 ``python -m repro.experiments analyze …`` dispatches to the static
 analysis CLI instead (see :mod:`.analyze`), and ``… chaos`` to the
@@ -13,11 +17,11 @@ fault-injection parity check (see :mod:`repro.pipeline.faultinject`).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 
 from ..pipeline import configure, default_cache
-from .registry import EXPERIMENTS, run_experiment
+from .registry import EXPERIMENTS
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,6 +49,41 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
+    )
+    sched = parser.add_argument_group("suite scheduler")
+    sched.add_argument(
+        "--parallel",
+        action="store_true",
+        default=True,
+        help="run independent drivers on a bounded thread executor "
+        "(the default; report tables are bit-identical to --serial)",
+    )
+    sched.add_argument(
+        "--serial",
+        dest="parallel",
+        action="store_false",
+        help="run the drivers one after another",
+    )
+    sched.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="driver threads for --parallel (default: bounded by cpu "
+        "count and the number of selected experiments)",
+    )
+    sched.add_argument(
+        "--bench",
+        action="store_true",
+        help="time the engine against the per-driver seed path (4 suite "
+        "passes), assert serial/parallel table parity, and write the "
+        "results to --bench-out",
+    )
+    sched.add_argument(
+        "--bench-out",
+        default="BENCH_experiments.json",
+        metavar="FILE",
+        help="where --bench writes its timings (default: %(default)s)",
     )
     pipe = parser.add_argument_group("measurement pipeline")
     pipe.add_argument(
@@ -140,12 +179,27 @@ def main(argv: list[str] | None = None) -> int:
         removed = default_cache().clear()
         print(f"[cache] cleared {removed} entries from {default_cache().root}")
 
-    ids = list(EXPERIMENTS) if "all" in [i.lower() for i in args.ids] else args.ids
-    for eid in ids:
-        t0 = time.time()
-        result = run_experiment(eid)
+    from .scheduler import bench_suite, run_suite
+
+    if args.bench:
+        bench = bench_suite(args.ids, jobs=args.jobs)
+        with open(args.bench_out, "w") as fh:
+            json.dump(bench, fh, indent=2, sort_keys=True)
+        print(json.dumps(bench, indent=2, sort_keys=True))
+        print(f"[bench written to {args.bench_out}]")
+        if not bench["parallel_serial_tables_identical"]:
+            print("FAIL: parallel and serial report tables differ")
+            return 1
+        return 0
+
+    run = run_suite(args.ids, parallel=args.parallel, jobs=args.jobs)
+    for result in run.results:
         print(result.to_text(include_scatter=not args.no_scatter))
-        print(f"[{eid} completed in {time.time() - t0:.1f}s]\n")
+        print(f"[{result.id} completed in {result.wall_s:.1f}s]\n")
+    print(
+        f"[suite: {len(run.results)} experiments in {run.total_s:.1f}s "
+        f"({run.mode}, {run.jobs} job(s); dataset builds {run.build_s:.1f}s)]"
+    )
     if args.cache_stats:
         print(f"[{default_cache().stats}]")
     if args.compile_stats:

@@ -14,6 +14,7 @@ one process return the same object.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -116,29 +117,48 @@ class Dataset:
 #: In-memory memo, keyed by measurement identity (worker count and
 #: cache state cannot change the values, so they are not in the key).
 _MEMO: dict[tuple, Dataset] = {}
+#: Per-identity build locks: concurrent experiment drivers asking for
+#: the same spec must share one sweep, not race two.
+_MEMO_LOCK = threading.Lock()
+_BUILD_LOCKS: dict[tuple, threading.Lock] = {}
 
 
 def build_dataset(spec: Optional[DatasetSpec] = None, **kwargs) -> Dataset:
-    """Build (or fetch the cached) dataset for a measurement spec."""
+    """Build (or fetch the cached) dataset for a measurement spec.
+
+    Thread-safe: each measurement identity is built exactly once per
+    process; concurrent callers (the suite scheduler runs drivers on
+    an executor) block on the identity's build lock and receive the
+    same ``Dataset`` object.
+    """
     if spec is None:
         spec = DatasetSpec(**kwargs)
     elif kwargs:
         raise TypeError("pass either a spec or keyword overrides, not both")
-    ds = _MEMO.get(spec.identity)
-    if ds is None:
-        # partial=True: a kernel the resilient sweep had to quarantine
-        # shrinks the dataset (and is reported) instead of killing the
-        # experiment that asked for it.
-        stats = DatasetBuildStats()
-        samples, failures, report = measure_suite(
-            spec, partial=True, stats=stats
-        )
-        ds = _MEMO.setdefault(
-            spec.identity, Dataset(spec, samples, failures, report, stats)
-        )
+    key = spec.identity
+    ds = _MEMO.get(key)
+    if ds is not None:
+        return ds
+    with _MEMO_LOCK:
+        build_lock = _BUILD_LOCKS.setdefault(key, threading.Lock())
+    with build_lock:
+        ds = _MEMO.get(key)
+        if ds is None:
+            # partial=True: a kernel the resilient sweep had to
+            # quarantine shrinks the dataset (and is reported) instead
+            # of killing the experiment that asked for it.
+            stats = DatasetBuildStats()
+            samples, failures, report = measure_suite(
+                spec, partial=True, stats=stats
+            )
+            ds = Dataset(spec, samples, failures, report, stats)
+            with _MEMO_LOCK:
+                _MEMO[key] = ds
     return ds
 
 
 def clear_dataset_memo() -> None:
     """Drop the in-process memo (persistent cache entries survive)."""
-    _MEMO.clear()
+    with _MEMO_LOCK:
+        _MEMO.clear()
+        _BUILD_LOCKS.clear()

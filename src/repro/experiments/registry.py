@@ -19,6 +19,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "E9": ("State of the art, x86 (slide 17)", drivers.run_e9),
     "E10": ("Fitted for cost, x86 (slide 18)", drivers.run_e10),
     "E11": ("Fitted for speedup, x86 (slide 19)", drivers.run_e11),
+    "E12": ("LOOCV SVR, ARM + x86 (beyond the paper)", drivers.run_e12),
 }
 
 

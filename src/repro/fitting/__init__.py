@@ -3,7 +3,13 @@
 from .base import FitError, Regressor, check_Xy, residual_norm
 from .l2 import LeastSquares
 from .nnls import KKT_TOL, NonNegativeLeastSquares, nnls_warm_start
-from .svr import LinearSVR
+from .svr import (
+    CERT_REL_GAP,
+    LinearSVR,
+    SVRWarmStats,
+    svr_fold_objective,
+    svr_warm_loocv,
+)
 from .scaling import ScaledRegressor, StandardScaler
 
 
@@ -29,6 +35,10 @@ __all__ = [
     "KKT_TOL",
     "nnls_warm_start",
     "LinearSVR",
+    "CERT_REL_GAP",
+    "SVRWarmStats",
+    "svr_fold_objective",
+    "svr_warm_loocv",
     "ScaledRegressor",
     "StandardScaler",
     "make_regressor",

@@ -25,6 +25,7 @@ def nnls_warm_start(
     support: np.ndarray,
     *,
     tol: float = KKT_TOL,
+    validate: bool = True,
 ) -> np.ndarray | None:
     """Solve min ||Xw − y||₂ s.t. w ≥ 0, guessing the active set.
 
@@ -41,8 +42,14 @@ def nnls_warm_start(
     Lawson–Hanson solve.  A correct guess collapses the active-set
     search to one ``lstsq`` — deleting a single row rarely changes the
     active set, which is what makes the LOOCV refit loop cheap.
+
+    ``validate=False`` skips the ``check_Xy`` coercion for callers that
+    already hold validated float64 arrays (the LOOCV fold loop passes
+    row-masked views of a checked matrix; re-checking every fold costs
+    more than the restricted solve).
     """
-    X, y = check_Xy(X, y)
+    if validate:
+        X, y = check_Xy(X, y)
     support = np.unique(np.asarray(support, dtype=np.intp))
     if support.size and (support[0] < 0 or support[-1] >= X.shape[1]):
         raise FitError(f"support out of range for {X.shape[1]} columns")
@@ -50,8 +57,17 @@ def nnls_warm_start(
     slack = tol * scale
     w = np.zeros(X.shape[1])
     if support.size:
+        Xs = X[:, support]
         try:
-            ws, *_ = np.linalg.lstsq(X[:, support], y, rcond=None)
+            # Normal equations + Cholesky: the restricted problem has
+            # only |support| columns, so this is ~10× cheaper than the
+            # SVD-based lstsq and the KKT certificate below still
+            # validates the result.  Singular Gram (rank-deficient
+            # support) falls back to the minimum-norm lstsq solve.
+            try:
+                ws = np.linalg.solve(Xs.T @ Xs, Xs.T @ y)
+            except np.linalg.LinAlgError:
+                ws, *_ = np.linalg.lstsq(Xs, y, rcond=None)
         except np.linalg.LinAlgError:
             return None
         if not np.all(np.isfinite(ws)) or np.any(ws < -slack):

@@ -15,7 +15,9 @@ from .loocv import (
     fast_loocv_eligible,
     kfold_predictions,
     loocv_predictions,
+    svr_warm_disabled,
     warm_nnls_eligible,
+    warm_svr_eligible,
 )
 from .decisions import (
     PolicyOutcome,
@@ -39,6 +41,8 @@ __all__ = [
     "loocv_predictions",
     "fast_loocv_eligible",
     "warm_nnls_eligible",
+    "warm_svr_eligible",
+    "svr_warm_disabled",
     "PolicyOutcome",
     "always_cycles",
     "never_cycles",

@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..costmodel import matrix
 from ..costmodel.base import Sample
 from .metrics import BENEFIT_THRESHOLD
 
@@ -23,11 +24,13 @@ def _totals(samples: Sequence[Sample]) -> tuple[np.ndarray, np.ndarray]:
 
     Samples carry per-iteration cycles; scalar iterations retire one
     element and vector iterations VF elements, so per-element cycles
-    are directly comparable.
+    are directly comparable.  The cycle arrays come from the shared
+    dataset bundle instead of a fresh per-call sample walk.
     """
-    scalar = np.array([s.measured_scalar_cpi for s in samples])
-    vector = np.array([s.measured_vector_cpi / s.vf for s in samples])
-    return scalar, vector
+    if not samples:
+        return np.array([]), np.array([])
+    b = matrix.get_bundle(samples)
+    return b.scalar_cpi, b.vector_cpi / b.vf
 
 
 @dataclass(frozen=True)

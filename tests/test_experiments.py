@@ -60,8 +60,8 @@ class TestDatasets:
 
 
 class TestExperimentRegistry:
-    def test_eleven_experiments(self):
-        assert list(EXPERIMENTS) == [f"E{i}" for i in range(1, 12)]
+    def test_twelve_experiments(self):
+        assert list(EXPERIMENTS) == [f"E{i}" for i in range(1, 13)]
 
     def test_unknown_id(self):
         with pytest.raises(KeyError):
