@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Union
 
 from ..analysis.framework.diagnostics import Severity
@@ -200,6 +200,44 @@ class DatasetBuildStats:
     estimated_work: float = 0.0
     reason: str = ""
     supervised: bool = True
+    #: Executor-tier counts observed during this sweep (main process
+    #: only — pool workers compile in their own address space):
+    #: ``{"native": …, "vector": …, "scalar": …, "native_demoted": …,
+    #: "demoted": …}``.  Empty when nothing was measured in-process.
+    tiers: dict = field(default_factory=dict)
+    #: Seconds spent building native ``.so`` artifacts during the sweep.
+    compile_build_s: float = 0.0
+
+
+#: compile_summary keys folded into :attr:`DatasetBuildStats.tiers`
+#: (summary key -> tier label).
+_TIER_KEYS = {
+    "kernels_native": "native",
+    "kernels_vector": "vector",
+    "kernels_scalar": "scalar",
+    "kernels_native_demoted": "native_demoted",
+    "kernels_demoted": "demoted",
+    "kernels_refused": "interpreted",
+}
+
+
+def _tier_snapshot() -> dict:
+    """Current process-wide compile-tier counters (plus build seconds)."""
+    from ..sim.compile import compile_summary
+
+    s = compile_summary()
+    snap = {label: int(s.get(key, 0)) for key, label in _TIER_KEYS.items()}
+    snap["native_build_s"] = float(s.get("native_build_s", 0.0))
+    return snap
+
+
+def _tier_delta(before: dict, after: dict) -> dict:
+    delta = {k: after.get(k, 0) - before.get(k, 0) for k in after}
+    delta["native_build_s"] = round(
+        max(0.0, after.get("native_build_s", 0.0) - before.get("native_build_s", 0.0)),
+        4,
+    )
+    return delta
 
 
 @dataclass(frozen=True)
@@ -223,6 +261,7 @@ def estimate_kernel_work(kernel) -> float:
     from ..ir.stmt import IfBlock
     from ..sim.compile import compile_enabled
     from ..sim.measure import GUARD_SAMPLE_ITERS
+    from ..sim.native import native_available
 
     stmts = max(1, sum(1 for _ in kernel.stmts()))
     work = 2000.0 + 50.0 * stmts
@@ -233,7 +272,13 @@ def estimate_kernel_work(kernel) -> float:
             if kernel.depth == 1
             else min(kernel.loops[0].trip, max(1, GUARD_SAMPLE_ITERS // 4))
         )
-        if compile_enabled():
+        if compile_enabled() and native_available():
+            # cc invocation + self-check dominate; the per-iteration
+            # cost of a native run is near-free.  This moves the
+            # serial/pool break-even: a mostly-guarded suite that
+            # justified a pool on the NumPy tier often no longer does.
+            work += 3000.0 + 0.002 * stmts * inner * outer
+        elif compile_enabled():
             # One-time compile + self-check, then a cheap compiled run.
             work += 5000.0 + 0.02 * stmts * inner * outer
         else:
@@ -471,6 +516,7 @@ def measure_suite(
         stats.measured = len(pending)
         stats.supervised = supervise
         stats.strategy, stats.workers, stats.chunksize = "none", 1, 1
+        tiers_before = _tier_snapshot()
     if pending:
         workers = resolve_workers(workers, pending=len(pending))
         by_name = {k.name: k for k in kernels}
@@ -519,6 +565,11 @@ def measure_suite(
                 spec, pending, workers, decision.chunksize
             ):
                 on_complete(name, payload)
+
+    if stats is not None:
+        delta = _tier_delta(tiers_before, _tier_snapshot())
+        stats.compile_build_s = delta.pop("native_build_s", 0.0)
+        stats.tiers = {k: v for k, v in delta.items() if v}
 
     if report.quarantined and not partial:
         raise SweepError(report)

@@ -289,6 +289,37 @@ def _exec_stmts_scalar(kernel, stmts, ctx: _Ctx, stats: _GuardStats) -> None:
 # ---------------------------------------------------------------------------
 
 
+def make_lane_env(
+    kernel: LoopKernel,
+    scalar_info: dict,
+    env_in: dict,
+    vf: int,
+) -> tuple[dict, dict]:
+    """Lane-expand the written scalars for a VF-lane execution.
+
+    Reductions become identity-filled accumulators seeded in lane 0,
+    privates are broadcast, parameters pass through unexpanded.
+    Returns ``(lane_env, red_ops)``.
+    """
+    lane_env: dict = {}
+    red_ops: dict[str, BinOpKind] = {}
+    for name, decl in kernel.scalars.items():
+        info = scalar_info.get(name)
+        npdt = NP_DTYPE[decl.dtype]
+        if info is not None and info.klass is ScalarClass.REDUCTION:
+            assert info.op is not None
+            ident = REDUCTION_IDENTITY[info.op]
+            acc = np.full(vf, ident, dtype=npdt)
+            acc[0] = env_in[name]
+            lane_env[name] = acc
+            red_ops[name] = info.op
+        elif info is not None and info.klass is ScalarClass.PRIVATE:
+            lane_env[name] = np.full(vf, env_in[name], dtype=npdt)
+        else:
+            lane_env[name] = env_in[name]  # parameter
+    return lane_env, red_ops
+
+
 def run_vector(
     plan: VectorizationPlan,
     bufs: dict[str, np.ndarray],
@@ -318,39 +349,40 @@ def run_vector(
     kernel = plan.kernel
     vf = plan.vf
     env_in = dict(scalars) if scalars is not None else initial_scalars(kernel)
-
-    # Lane-expand the written scalars.
-    lane_env: dict = {}
-    red_ops: dict[str, BinOpKind] = {}
-    for name, decl in kernel.scalars.items():
-        info = plan.scalar_info.get(name)
-        npdt = NP_DTYPE[decl.dtype]
-        if info is not None and info.klass is ScalarClass.REDUCTION:
-            assert info.op is not None
-            ident = REDUCTION_IDENTITY[info.op]
-            acc = np.full(vf, ident, dtype=npdt)
-            acc[0] = env_in[name]
-            lane_env[name] = acc
-            red_ops[name] = info.op
-        elif info is not None and info.klass is ScalarClass.PRIVATE:
-            lane_env[name] = np.full(vf, env_in[name], dtype=npdt)
-        else:
-            lane_env[name] = env_in[name]  # parameter
+    lane_env, red_ops = make_lane_env(kernel, plan.scalar_info, env_in, vf)
 
     inner_trip = kernel.inner.trip
     vec_trip = inner_trip - inner_trip % vf
     outer_trip = 1 if kernel.depth == 1 else kernel.loops[0].trip
+
+    # Native fast path for the full lane blocks (depth-1 only; the
+    # scalar tail below stays in Python either way).  Any refusal —
+    # disabled tier, no toolchain, no verified vector entry — returns
+    # False without touching a buffer.
+    ran_native = False
+    if (
+        kernel.depth == 1
+        and vec_trip
+        and os.environ.get("REPRO_COMPILE", "1") != "0"
+    ):
+        from .native import try_run_vector_blocks
+
+        ran_native = try_run_vector_blocks(plan, bufs, lane_env, vf, vec_trip)
+
     tail_env = _TailEnv(lane_env, set(red_ops))
     tail_stats = _GuardStats()
     total = 0
     with np.errstate(all="ignore"):
         for outer in range(outer_trip):
-            for start in range(0, vec_trip, vf):
-                lanes = np.arange(start, start + vf)
-                ivals = (lanes,) if kernel.depth == 1 else (outer, lanes)
-                ctx = _Ctx(bufs, lane_env, ivals)
-                _exec_stmts_vector(kernel, kernel.body, ctx, None, vf)
-                total += 1
+            if ran_native:
+                total += vec_trip // vf
+            else:
+                for start in range(0, vec_trip, vf):
+                    lanes = np.arange(start, start + vf)
+                    ivals = (lanes,) if kernel.depth == 1 else (outer, lanes)
+                    ctx = _Ctx(bufs, lane_env, ivals)
+                    _exec_stmts_vector(kernel, kernel.body, ctx, None, vf)
+                    total += 1
             # Scalar tail of this inner-loop instance, before the next
             # outer iteration (cross-row dependences require it).
             for inner in range(vec_trip, inner_trip):

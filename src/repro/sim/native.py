@@ -1,0 +1,1400 @@
+"""Native kernel tier: ``LoopKernel`` IR → C → shared library → ctypes.
+
+The third and fastest compilation tier.  A kernel's IR is rendered to a
+C translation unit (one scalar entry point mirroring the interpreter's
+statement-at-a-time semantics, plus — when the kernel is depth-1 and
+unguarded — a lane-blocked vector entry mirroring
+:func:`repro.sim.executor._exec_stmts_vector`), compiled once per
+*(kernel fingerprint, toolchain identity)* with the host compiler
+(:mod:`.toolchain`), and loaded via :func:`numpy.ctypeslib.load_library`.
+
+Build once, attach many: artifacts live in an on-disk cache keyed by
+``sha256(kernel_fp | toolchain | schema)``, installed atomically
+(tmp + ``os.replace``) under an ``flock`` so concurrent pool workers
+never race a build, with a JSON sidecar recording the build-time
+verification verdict and an integrity digest of the ``.so`` — attaching
+processes re-verify the bytes, not the semantics.
+
+Semantics contract (why the output can be *bit-identical* to numpy):
+
+* the toolchain compiles with ``-fwrapv -ffp-contract=off`` (wrapping
+  int arithmetic, no FMA contraction);
+* ``sqrt`` is emitted as ``sqrtf(fabsf(x))`` plus a fire counter —
+  exactly :func:`repro.sim.ufuncs.guarded_sqrt`, including ``-0.0``;
+* min/max propagate NaN the way ``np.minimum``/``np.maximum`` do
+  (``(a < b || a != a) ? a : b``);
+* shifts reproduce numpy's guarded semantics (shift count ≥ width
+  yields 0, or the sign for right shifts);
+* integer division goes through ``double`` like ``np.divide`` + cast;
+* ``Select`` and integer ``abs`` are helper *functions*, so both
+  operands are evaluated (``np.where`` evaluates both branches and the
+  sqrt fire counter must see the same calls).
+
+What C cannot promise bit-for-bit — libm ``exp`` vs numpy's SIMD
+``np.exp`` is the known case — the build-time self-check catches: every
+artifact is executed against the interpreter before installation and
+kernels that don't match *exactly* are demoted to the PR-4 tiers with a
+``-Rpass-missed=native`` remark (``REPRO_NATIVE_TOLERANCE=1`` opts into
+accepting float-only drift within ``rtol=1e-4``).
+
+``REPRO_NATIVE=0`` disables the tier; a host with no C compiler
+degrades to the NumPy/scalar tiers with a single diagnostic remark.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import fcntl
+import hashlib
+import json
+import os
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.reduction import ScalarClass
+from ..ir.expr import (
+    Affine,
+    BinOp,
+    BinOpKind,
+    CmpKind,
+    Compare,
+    Const,
+    Convert,
+    Expr,
+    Indirect,
+    IterValue,
+    Load,
+    ScalarRef,
+    Select,
+    UnOp,
+    UnOpKind,
+)
+from ..ir.kernel import LoopKernel
+from ..ir.stmt import ArrayStore, IfBlock, ScalarAssign
+from ..ir.types import DType
+from . import compile as _compile
+from . import ufuncs
+from .compile import CompileError, CompiledKernel
+from .executor import (
+    _Ctx,
+    _exec_stmts_vector,
+    initial_scalars,
+    make_buffers,
+    make_lane_env,
+    run_scalar_interpreted,
+)
+from .toolchain import (
+    Toolchain,
+    ToolchainError,
+    compile_shared,
+    find_toolchain,
+    reset_toolchain_memo,
+    toolchain_failure,
+)
+from .ufuncs import NP_DTYPE
+
+__all__ = [
+    "NativeError",
+    "NativeUnsupported",
+    "clear_attached",
+    "clear_native_artifacts",
+    "native_available",
+    "native_cache_dir",
+    "native_compiled",
+    "native_enabled",
+    "reset_native_state",
+    "try_run_vector_blocks",
+]
+
+#: Bump when the emitted C or the ABI of the entry points changes:
+#: every cached artifact older than this schema is invalidated.
+NATIVE_SCHEMA = 1
+
+#: Inner iterations of the build-time interpreter-vs-native check.
+#: Longer than the PR-4 check (16): libm divergence (``expf``) needs a
+#: few dozen elements to show up reliably.
+_NATIVE_CHECK_ITERS = 64
+
+#: Largest vector factor the emitted per-statement lane temps hold.
+_VF_MAX = 256
+
+
+class NativeError(RuntimeError):
+    """A native kernel failed *at run time* (out-of-bounds index).
+
+    Deliberately not a :class:`CompileError`: buffers may already be
+    partially mutated, so silently re-running the kernel on another
+    tier would be wrong.
+    """
+
+
+class NativeUnsupported(Exception):
+    """The kernel shape cannot be rendered to C (static refusal)."""
+
+
+class _Failure:
+    """Memoized negative attach result."""
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str):
+        self.reason = reason
+
+
+class _NativeModule:
+    """A loaded artifact: entry-point wrappers plus its sidecar meta."""
+
+    __slots__ = ("lib", "meta", "scalar_run", "vector_run", "lanes")
+
+    def __init__(self, lib, meta, scalar_run, vector_run, lanes):
+        self.lib = lib
+        self.meta = meta
+        self.scalar_run = scalar_run
+        self.vector_run = vector_run
+        self.lanes = lanes
+
+
+#: nfp -> _NativeModule | _Failure (per-process attach memo).
+_ATTACHED: dict[str, object] = {}
+#: One "native tier unavailable" remark per process, not per kernel.
+_DEGRADED = False
+
+
+def native_enabled() -> bool:
+    return os.environ.get("REPRO_NATIVE", "1") != "0"
+
+
+def tolerance_enabled() -> bool:
+    return os.environ.get("REPRO_NATIVE_TOLERANCE", "") == "1"
+
+
+def native_available() -> bool:
+    """Enabled *and* a working host toolchain exists (probe memoized)."""
+    return native_enabled() and find_toolchain() is not None
+
+
+def native_cache_dir() -> str:
+    env = os.environ.get("REPRO_NATIVE_CACHE_DIR")
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-vec", "native")
+
+
+def native_cache_max() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_NATIVE_CACHE_MAX", "512")))
+    except ValueError:
+        return 512
+
+
+def clear_attached() -> None:
+    """Drop per-process attach memos (loaded libraries stay mapped)."""
+    _ATTACHED.clear()
+
+
+def reset_native_state() -> None:
+    """Full per-process reset: memos, degradation flag, toolchain probe."""
+    global _DEGRADED
+    clear_attached()
+    _DEGRADED = False
+    reset_toolchain_memo()
+
+
+def clear_native_artifacts(root: Optional[str] = None) -> int:
+    """Purge the on-disk artifact cache; returns the number of ``.so``s."""
+    root = root or native_cache_dir()
+    removed = 0
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return 0
+    for f in names:
+        if f.endswith(".so"):
+            removed += 1
+        if f.endswith((".so", ".json", ".c", ".lock", ".tmp")):
+            try:
+                os.unlink(os.path.join(root, f))
+            except OSError:
+                pass
+    clear_attached()
+    return removed
+
+
+def _native_fingerprint(fp: str, tc: Toolchain) -> str:
+    blob = f"{fp}|{tc.identity}|schema={NATIVE_SCHEMA}"
+    return hashlib.sha256(blob.encode()).hexdigest()[:40]
+
+
+def _sha256_file(path: str) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _diag(kernel: LoopKernel, message: str, warning: bool = False) -> None:
+    from ..analysis.framework.passmanager import default_manager
+
+    diags = default_manager().diagnostics
+    (diags.warning if warning else diags.remark)("native", kernel.name, message)
+
+
+def _note_degraded(kernel: LoopKernel) -> None:
+    global _DEGRADED
+    if _DEGRADED:
+        return
+    _DEGRADED = True
+    _diag(
+        kernel,
+        f"-Rpass-missed=native: native tier unavailable "
+        f"({toolchain_failure() or 'no toolchain'}); "
+        "falling back to the NumPy/scalar tiers",
+    )
+
+
+# ---------------------------------------------------------------------------
+# C emission
+# ---------------------------------------------------------------------------
+
+_CTYPE = {
+    DType.F32: "float",
+    DType.F64: "double",
+    DType.I32: "int32_t",
+    DType.I64: "int64_t",
+    DType.BOOL: "uint8_t",
+}
+
+_SUFFIX = {
+    DType.F32: "f32",
+    DType.F64: "f64",
+    DType.I32: "i32",
+    DType.I64: "i64",
+    DType.BOOL: "u8",
+}
+
+_CMP_OP = {
+    CmpKind.LT: "<",
+    CmpKind.LE: "<=",
+    CmpKind.GT: ">",
+    CmpKind.GE: ">=",
+    CmpKind.EQ: "==",
+    CmpKind.NE: "!=",
+}
+
+# The helpers encode numpy's exact operator semantics — see module doc.
+_PRELUDE = """\
+#include <stdint.h>
+#include <math.h>
+
+#define REPRO_VF_MAX 256
+
+static inline int64_t repro_wrap(int64_t i, int64_t ext) {
+    return i < 0 ? i + ext : i;
+}
+static inline int64_t repro_idx(int64_t i, int64_t ext, int64_t *oob) {
+    if (i < 0) i += ext;
+    if (i < 0 || i >= ext) { *oob = 1; return 0; }
+    return i;
+}
+static inline float repro_sqrt_f32(float x, int64_t *fires) {
+    if (x < 0.0f) ++*fires;
+    return sqrtf(fabsf(x));
+}
+static inline double repro_sqrt_f64(double x, int64_t *fires) {
+    if (x < 0.0) ++*fires;
+    return sqrt(fabs(x));
+}
+static inline float repro_min_f32(float a, float b) {
+    return (a < b || a != a) ? a : b;
+}
+static inline float repro_max_f32(float a, float b) {
+    return (a > b || a != a) ? a : b;
+}
+static inline double repro_min_f64(double a, double b) {
+    return (a < b || a != a) ? a : b;
+}
+static inline double repro_max_f64(double a, double b) {
+    return (a > b || a != a) ? a : b;
+}
+static inline int32_t repro_min_i32(int32_t a, int32_t b) { return a < b ? a : b; }
+static inline int32_t repro_max_i32(int32_t a, int32_t b) { return a > b ? a : b; }
+static inline int64_t repro_min_i64(int64_t a, int64_t b) { return a < b ? a : b; }
+static inline int64_t repro_max_i64(int64_t a, int64_t b) { return a > b ? a : b; }
+static inline int32_t repro_abs_i32(int32_t a) {
+    return a < 0 ? (int32_t)(0u - (uint32_t)a) : a;
+}
+static inline int64_t repro_abs_i64(int64_t a) {
+    return a < 0 ? (int64_t)(0ull - (uint64_t)a) : a;
+}
+static inline int32_t repro_shl_i32(int32_t a, int32_t b) {
+    return ((uint32_t)b < 32u) ? (int32_t)((uint32_t)a << b) : 0;
+}
+static inline int64_t repro_shl_i64(int64_t a, int64_t b) {
+    return ((uint64_t)b < 64u) ? (int64_t)((uint64_t)a << b) : 0;
+}
+static inline int32_t repro_shr_i32(int32_t a, int32_t b) {
+    return ((uint32_t)b < 32u) ? (a >> b) : (a < 0 ? -1 : 0);
+}
+static inline int64_t repro_shr_i64(int64_t a, int64_t b) {
+    return ((uint64_t)b < 64u) ? (a >> b) : (a < 0 ? -1 : 0);
+}
+static inline float repro_sel_f32(uint8_t c, float t, float f) { return c ? t : f; }
+static inline double repro_sel_f64(uint8_t c, double t, double f) { return c ? t : f; }
+static inline int32_t repro_sel_i32(uint8_t c, int32_t t, int32_t f) { return c ? t : f; }
+static inline int64_t repro_sel_i64(uint8_t c, int64_t t, int64_t f) { return c ? t : f; }
+static inline uint8_t repro_sel_u8(uint8_t c, uint8_t t, uint8_t f) { return c ? t : f; }
+"""
+
+
+class _CEmitter:
+    """Renders one kernel body to C, scalar or lane-blocked vector form.
+
+    The emitter is *strict*: any shape it cannot reproduce with the
+    interpreter's exact semantics raises :class:`NativeUnsupported`
+    instead of emitting approximate code.
+    """
+
+    def __init__(self, kernel: LoopKernel, vector: bool = False,
+                 lanes: frozenset = frozenset()):
+        self.kernel = kernel
+        self.vector = vector
+        self.lanes = lanes
+        self.depth = kernel.depth
+        self.trips = [lp.trip for lp in kernel.loops]
+        self.uses_oob = False
+        self.lines: list[str] = []
+        self.indent = 1
+        self._nguard = 0
+        self._ntmp = 0
+        self._nsqrt = 0
+        #: sqrt fire-counter locals of the statement being emitted
+        #: (vector mode: one increment per call site per lane block,
+        #: matching one guarded_sqrt() call per whole-array evaluation).
+        self._stmt_sqrt_sites: list[str] = []
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def tmp(self) -> str:
+        self._ntmp += 1
+        return f"_t{self._ntmp}"
+
+    # -- index arithmetic ---------------------------------------------------
+
+    def itercode(self, level: int) -> str:
+        if self.vector:
+            return "(_s + _l)"
+        if self.depth == 1:
+            return "_i"
+        return "_o" if level == 0 else "_i"
+
+    def affine(self, af: Affine) -> str:
+        parts = []
+        for lvl, c in enumerate(af.coeffs):
+            if lvl >= self.depth or c == 0:
+                continue
+            iv = self.itercode(lvl)
+            parts.append(iv if c == 1 else f"({c} * {iv})")
+        if af.offset or not parts:
+            parts.append(str(af.offset))
+        return "(" + " + ".join(parts) + ")"
+
+    def rng(self, af: Affine) -> tuple[int, int]:
+        lo = hi = af.offset
+        for lvl, c in enumerate(af.coeffs):
+            if lvl >= len(self.trips) or c == 0:
+                continue
+            span = c * (self.trips[lvl] - 1)
+            lo += min(0, span)
+            hi += max(0, span)
+        return lo, hi
+
+    def dim_index(self, array: str, d: int, ix) -> str:
+        """Index code for one subscript dimension, bounds-disciplined.
+
+        Statically in-bounds affine → raw expression; possibly negative
+        (Python wrap) → ``repro_wrap``; statically out of range →
+        refusal.  Indirect indices are runtime-checked by ``repro_idx``
+        (wrap negatives, flag anything out of range).
+        """
+        decl = self.kernel.arrays[array]
+        ext = decl.extents[d]
+        if isinstance(ix, Affine):
+            code = self.affine(ix)
+            lo, hi = self.rng(ix)
+            if lo >= 0 and hi < ext:
+                return code
+            if lo >= -ext and hi < ext:
+                return f"repro_wrap({code}, {ext})"
+            raise NativeUnsupported(
+                f"subscript {d} of {array!r} spans [{lo}, {hi}] "
+                f"vs extent {ext}"
+            )
+        assert isinstance(ix, Indirect)
+        idecl = self.kernel.arrays.get(ix.array)
+        if idecl is None or len(idecl.extents) != 1:
+            raise NativeUnsupported(
+                f"indirect through multi-dim array {ix.array!r}"
+            )
+        if not idecl.dtype.is_int:
+            raise NativeUnsupported(
+                f"indirect through non-integer array {ix.array!r}"
+            )
+        icode = self.dim_index(ix.array, 0, ix.index)
+        loaded = f"((int64_t)b_{ix.array}[{icode}])"
+        self.uses_oob = True
+        return f"repro_idx({loaded}, {ext}, oob)"
+
+    def flat_index(self, array: str, subscript) -> str:
+        decl = self.kernel.arrays[array]
+        if len(subscript) != len(decl.extents):
+            raise NativeUnsupported(f"partial subscript on {array!r}")
+        if len(decl.extents) == 1:
+            return self.dim_index(array, 0, subscript[0])
+        if len(decl.extents) == 2:
+            i0 = self.dim_index(array, 0, subscript[0])
+            i1 = self.dim_index(array, 1, subscript[1])
+            return f"({i0} * {decl.extents[1]} + {i1})"
+        raise NativeUnsupported(f"{len(decl.extents)}-d array {array!r}")
+
+    # -- expressions --------------------------------------------------------
+
+    def const(self, value, dtype: DType) -> str:
+        ct = _CTYPE[dtype]
+        if dtype is DType.BOOL:
+            return f"((uint8_t){1 if value else 0})"
+        if dtype.is_int:
+            v = int(NP_DTYPE[dtype](value))
+            if dtype is DType.I64 and v == -(2**63):
+                return "((int64_t)(-9223372036854775807LL - 1))"
+            return f"(({ct})({v}LL))"
+        # Floats: round to the target width first, then print the exact
+        # hex value so the C literal is bit-identical to the numpy const.
+        f = float(NP_DTYPE[dtype](value))
+        if f != f:
+            return f"(({ct})NAN)"
+        if f == float("inf"):
+            return f"(({ct})INFINITY)"
+        if f == float("-inf"):
+            return f"(-({ct})INFINITY)"
+        suffix = "F" if dtype is DType.F32 else ""
+        return f"({f.hex()}{suffix})"
+
+    def cast(self, code: str, src: DType, dst: DType) -> str:
+        if src is dst:
+            return code
+        if dst is DType.BOOL:
+            return f"((uint8_t)({code} != 0))"
+        return f"(({_CTYPE[dst]}){code})"
+
+    def scalar_ref(self, name: str) -> str:
+        if not self.vector:
+            return f"s_{name}"
+        return f"L_{name}[_l]" if name in self.lanes else f"P_{name}"
+
+    def expr(self, e: Expr) -> str:
+        if isinstance(e, Const):
+            return self.const(e.value, e.dtype)
+        if isinstance(e, ScalarRef):
+            return self.scalar_ref(e.name)
+        if isinstance(e, IterValue):
+            return f"((int32_t){self.itercode(e.level)})"
+        if isinstance(e, Load):
+            return f"b_{e.array}[{self.flat_index(e.array, e.subscript)}]"
+        if isinstance(e, Convert):
+            return self.cast(self.expr(e.operand), e.operand.dtype, e.dtype)
+        if isinstance(e, UnOp):
+            return self.unop(e)
+        if isinstance(e, BinOp):
+            return self.binop(e)
+        if isinstance(e, Compare):
+            return self.compare(e)
+        if isinstance(e, Select):
+            c = self.expr(e.cond)
+            t = self.cast(self.expr(e.if_true), e.if_true.dtype, e.dtype)
+            f = self.cast(self.expr(e.if_false), e.if_false.dtype, e.dtype)
+            # A helper *function*, not a ternary: np.where evaluates
+            # both branches (the sqrt fire counter must see both).
+            return f"repro_sel_{_SUFFIX[e.dtype]}({c}, {t}, {f})"
+        raise NativeUnsupported(f"cannot emit {type(e).__name__}")
+
+    def unop(self, e: UnOp) -> str:
+        x = self.expr(e.operand)
+        dt = e.dtype
+        ct = _CTYPE[dt]
+        if e.op is UnOpKind.NEG:
+            return f"(-{x})" if dt.is_float else f"(({ct})(-{x}))"
+        if e.op is UnOpKind.ABS:
+            if dt is DType.F32:
+                return f"fabsf({x})"
+            if dt is DType.F64:
+                return f"fabs({x})"
+            return f"repro_abs_{_SUFFIX[dt]}({x})"
+        if e.op is UnOpKind.SQRT:
+            return f"repro_sqrt_{_SUFFIX[dt]}({x}, {self.sqrt_target()})"
+        if e.op is UnOpKind.EXP:
+            fn = "expf" if dt is DType.F32 else "exp"
+            return f"{fn}({x})"
+        if e.op is UnOpKind.NOT:
+            return f"((uint8_t)(!{x}))"
+        raise NativeUnsupported(f"unop {e.op.name}")
+
+    def sqrt_target(self) -> str:
+        """Fire-counter destination for one sqrt call site.
+
+        Scalar mode counts per evaluation (one element per call, like
+        the interpreter).  Vector mode gives each site a per-statement
+        local folded to ≤1 increment per lane block — one guarded_sqrt
+        call per whole-statement evaluation, like the numpy path.
+        """
+        if not self.vector:
+            return "sqrt_fires"
+        name = f"_sf{self._nsqrt}"
+        self._nsqrt += 1
+        self._stmt_sqrt_sites.append(name)
+        return f"&{name}"
+
+    def binop(self, e: BinOp) -> str:
+        dt = e.dtype
+        ct = _CTYPE[dt]
+        if e.op in (BinOpKind.SHL, BinOpKind.SHR):
+            # numpy shifts: operands promoted (not cast to the result
+            # dtype), computed in the common width with guarded counts.
+            wide = (
+                DType.I64
+                if DType.I64 in (e.lhs.dtype, e.rhs.dtype)
+                else DType.I32
+            )
+            a = self.cast(self.expr(e.lhs), e.lhs.dtype, wide)
+            b = self.cast(self.expr(e.rhs), e.rhs.dtype, wide)
+            fn = "shl" if e.op is BinOpKind.SHL else "shr"
+            code = f"repro_{fn}_{_SUFFIX[wide]}({a}, {b})"
+            return self.cast(code, wide, dt)
+        a = self.cast(self.expr(e.lhs), e.lhs.dtype, dt)
+        b = self.cast(self.expr(e.rhs), e.rhs.dtype, dt)
+        if e.op is BinOpKind.DIV:
+            if dt.is_int:
+                # np.divide(int, int) → float64, then C-cast back.
+                return f"(({ct})((double){a} / (double){b}))"
+            return f"({a} / {b})"
+        if e.op in (BinOpKind.MIN, BinOpKind.MAX):
+            fn = "min" if e.op is BinOpKind.MIN else "max"
+            return f"repro_{fn}_{_SUFFIX[dt]}({a}, {b})"
+        if e.op in (BinOpKind.ADD, BinOpKind.SUB, BinOpKind.MUL):
+            op = {BinOpKind.ADD: "+", BinOpKind.SUB: "-", BinOpKind.MUL: "*"}[e.op]
+            code = f"({a} {op} {b})"
+            return code if dt.is_float else f"(({ct}){code})"
+        if e.op in (BinOpKind.AND, BinOpKind.OR, BinOpKind.XOR):
+            op = {BinOpKind.AND: "&", BinOpKind.OR: "|", BinOpKind.XOR: "^"}[e.op]
+            return f"(({ct})({a} {op} {b}))"
+        raise NativeUnsupported(f"binop {e.op.name}")
+
+    def compare(self, e: Compare) -> str:
+        a, b = self.expr(e.lhs), self.expr(e.rhs)
+        op = _CMP_OP[e.op]
+        if e.lhs.dtype.is_float or e.rhs.dtype.is_float:
+            # numpy promotes mixed compares to float64; comparing two
+            # f32 in double is exact, so one rule covers every case.
+            a, b = f"((double){a})", f"((double){b})"
+        return f"((uint8_t)({a} {op} {b}))"
+
+    # -- statements: scalar entry -------------------------------------------
+
+    def _emit_tracked(self, fn):
+        """Run an emission closure; report whether it added oob checks."""
+        before = self.uses_oob
+        code = fn()
+        return code, self.uses_oob != before
+
+    def stmt_scalar(self, stmt) -> None:
+        if isinstance(stmt, ArrayStore):
+            decl = self.kernel.arrays[stmt.array]
+            val, val_oob = self._emit_tracked(
+                lambda: self.cast(
+                    self.expr(stmt.value), stmt.value.dtype, decl.dtype
+                )
+            )
+            idx, idx_oob = self._emit_tracked(
+                lambda: self.flat_index(stmt.array, stmt.subscript)
+            )
+            if not (val_oob or idx_oob):
+                self.emit(f"b_{stmt.array}[{idx}] = {val};")
+                return
+            # Python evaluates RHS, then the index, and raises before
+            # storing on an out-of-range index — mirror that order.
+            v, ixv = self.tmp(), self.tmp()
+            self.emit("{")
+            self.emit(f"    {_CTYPE[decl.dtype]} {v} = {val};")
+            if val_oob:
+                self.emit("    if (*oob) goto repro_done;")
+            self.emit(f"    int64_t {ixv} = {idx};")
+            if idx_oob:
+                self.emit("    if (*oob) goto repro_done;")
+            self.emit(f"    b_{stmt.array}[{ixv}] = {v};")
+            self.emit("}")
+        elif isinstance(stmt, ScalarAssign):
+            decl = self.kernel.scalars[stmt.name]
+            val, val_oob = self._emit_tracked(
+                lambda: self.cast(
+                    self.expr(stmt.value), stmt.value.dtype, decl.dtype
+                )
+            )
+            self.emit(f"s_{stmt.name} = {val};")
+            if val_oob:
+                self.emit("if (*oob) goto repro_done;")
+        elif isinstance(stmt, IfBlock):
+            k = self._nguard
+            self._nguard += 1
+            cond, cond_oob = self._emit_tracked(lambda: self.expr(stmt.cond))
+            self.emit(
+                f"if (!gseen[{k}]) {{ gorder[*gcount] = {k}; *gcount += 1; }}"
+            )
+            self.emit(f"gseen[{k}] += 1;")
+            if cond_oob:
+                c = self.tmp()
+                self.emit(f"uint8_t {c} = {cond};")
+                self.emit("if (*oob) goto repro_done;")
+                cond = c
+            self.emit(f"if ({cond}) {{")
+            self.indent += 1
+            self.emit(f"gtaken[{k}] += 1;")
+            for s in stmt.then_body:
+                self.stmt_scalar(s)
+            self.indent -= 1
+            if stmt.else_body:
+                self.emit("} else {")
+                self.indent += 1
+                for s in stmt.else_body:
+                    self.stmt_scalar(s)
+                self.indent -= 1
+            self.emit("}")
+        else:
+            raise NativeUnsupported(f"cannot emit {type(stmt).__name__}")
+
+    def gen_scalar(self) -> str:
+        k = self.kernel
+        self.lines = [
+            "int64_t repro_scalar(void **bufs, void **scalars,",
+            "                     int64_t inner_trip, int64_t outer_trip,",
+            "                     int64_t *gseen, int64_t *gtaken,",
+            "                     int64_t *gorder, int64_t *gcount,",
+            "                     int64_t *sqrt_fires, int64_t *oob) {",
+        ]
+        for j, (name, decl) in enumerate(k.arrays.items()):
+            ct = _CTYPE[decl.dtype]
+            self.emit(f"{ct} *b_{name} = ({ct} *)bufs[{j}];")
+        for j, (name, decl) in enumerate(k.scalars.items()):
+            ct = _CTYPE[decl.dtype]
+            self.emit(f"{ct} s_{name} = *({ct} *)scalars[{j}];")
+        self.emit("(void)gseen; (void)gtaken; (void)gorder; (void)gcount;")
+        self.emit("(void)sqrt_fires; (void)oob;")
+        if self.depth == 1:
+            self.emit("(void)outer_trip;")
+            self.emit("for (int64_t _i = 0; _i < inner_trip; _i++) {")
+            self.indent += 1
+        else:
+            self.emit("for (int64_t _o = 0; _o < outer_trip; _o++) {")
+            self.indent += 1
+            self.emit("for (int64_t _i = 0; _i < inner_trip; _i++) {")
+            self.indent += 1
+        for s in k.body:
+            self.stmt_scalar(s)
+        self.indent -= 1
+        self.emit("}")
+        if self.depth > 1:
+            self.indent -= 1
+            self.emit("}")
+        if self.uses_oob:
+            self.emit("repro_done:;")
+        for j, (name, decl) in enumerate(k.scalars.items()):
+            ct = _CTYPE[decl.dtype]
+            self.emit(f"*({ct} *)scalars[{j}] = s_{name};")
+        self.emit("return inner_trip * outer_trip;")
+        self.lines.append("}")
+        return "\n".join(self.lines)
+
+    # -- statements: vector entry -------------------------------------------
+
+    def stmt_vector(self, si: int, stmt) -> None:
+        """One statement as a two-phase lane block.
+
+        Phase 1 evaluates the whole RHS for all ``vf`` lanes into a
+        temp; phase 2 stores in lane order — exactly numpy's
+        whole-RHS-then-assign shape, so same-statement anti-dependences
+        read pre-store values and duplicate store indices resolve
+        last-lane-wins.
+        """
+        if isinstance(stmt, ArrayStore):
+            decl = self.kernel.arrays[stmt.array]
+            target_dt = decl.dtype
+            store = True
+        elif isinstance(stmt, ScalarAssign):
+            if stmt.name not in self.lanes:
+                raise NativeUnsupported(
+                    f"assignment to non-lane scalar {stmt.name!r}"
+                )
+            decl = self.kernel.scalars[stmt.name]
+            target_dt = decl.dtype
+            store = False
+        else:
+            raise NativeUnsupported(
+                f"{type(stmt).__name__} in vector entry"
+            )
+        self._stmt_sqrt_sites = []
+        val, val_oob = self._emit_tracked(
+            lambda: self.cast(self.expr(stmt.value), stmt.value.dtype, target_dt)
+        )
+        if store:
+            idx, idx_oob = self._emit_tracked(
+                lambda: self.flat_index(stmt.array, stmt.subscript)
+            )
+        self.emit("{")
+        self.indent += 1
+        for site in self._stmt_sqrt_sites:
+            self.emit(f"int64_t {site} = 0;")
+        self.emit(f"{_CTYPE[target_dt]} _v{si}[REPRO_VF_MAX];")
+        self.emit("for (int64_t _l = 0; _l < vf; _l++) {")
+        self.indent += 1
+        self.emit(f"_v{si}[_l] = {val};")
+        if val_oob:
+            self.emit("if (*oob) goto repro_done;")
+        self.indent -= 1
+        self.emit("}")
+        for site in self._stmt_sqrt_sites:
+            self.emit(f"if ({site}) {{ *sqrt_fires += 1; }}")
+        self.emit("for (int64_t _l = 0; _l < vf; _l++) {")
+        self.indent += 1
+        if store:
+            if idx_oob:
+                ixv = self.tmp()
+                self.emit(f"int64_t {ixv} = {idx};")
+                self.emit("if (*oob) goto repro_done;")
+                self.emit(f"b_{stmt.array}[{ixv}] = _v{si}[_l];")
+            else:
+                self.emit(f"b_{stmt.array}[{idx}] = _v{si}[_l];")
+        else:
+            self.emit(f"L_{stmt.name}[_l] = _v{si}[_l];")
+        self.indent -= 1
+        self.emit("}")
+        self.indent -= 1
+        self.emit("}")
+
+    def gen_vector(self) -> str:
+        k = self.kernel
+        if self.depth != 1:
+            raise NativeUnsupported("vector entry requires a depth-1 loop")
+        if any(isinstance(s, IfBlock) for s in k.stmts()):
+            raise NativeUnsupported("guarded statements in vector entry")
+        self.lines = [
+            "int64_t repro_vector(void **bufs, void **lanes,",
+            "                     int64_t vf, int64_t vec_trip,",
+            "                     int64_t *sqrt_fires, int64_t *oob) {",
+        ]
+        for j, (name, decl) in enumerate(k.arrays.items()):
+            ct = _CTYPE[decl.dtype]
+            self.emit(f"{ct} *b_{name} = ({ct} *)bufs[{j}];")
+        for j, (name, decl) in enumerate(k.scalars.items()):
+            ct = _CTYPE[decl.dtype]
+            if name in self.lanes:
+                self.emit(f"{ct} *L_{name} = ({ct} *)lanes[{j}];")
+            else:
+                self.emit(f"{ct} P_{name} = *({ct} *)lanes[{j}];")
+        self.emit("(void)sqrt_fires; (void)oob;")
+        self.emit("for (int64_t _s = 0; _s < vec_trip; _s += vf) {")
+        self.indent += 1
+        for si, s in enumerate(k.body):
+            self.stmt_vector(si, s)
+        self.indent -= 1
+        self.emit("}")
+        if self.uses_oob:
+            self.emit("repro_done:;")
+        self.emit("return vec_trip / vf;")
+        self.lines.append("}")
+        return "\n".join(self.lines)
+
+
+def _lane_scalars(kernel: LoopKernel) -> set[str]:
+    """Scalars the vector entry lane-expands (reductions + privates)."""
+    from ..analysis.framework.passmanager import default_manager
+
+    infos = default_manager().get("scalars", kernel)
+    return {
+        n
+        for n, i in infos.items()
+        if i.klass in (ScalarClass.REDUCTION, ScalarClass.PRIVATE)
+    }
+
+
+def _emit_translation_unit(kernel: LoopKernel) -> tuple[str, list, str]:
+    """(C source, lane-scalar names, vector entry status).
+
+    The scalar entry is mandatory — a refusal there propagates and no
+    artifact is built.  The vector entry is best-effort: its refusal is
+    recorded as ``unsupported: why`` in the sidecar meta.
+    """
+    scalar_src = _CEmitter(kernel, vector=False).gen_scalar()
+    lanes = _lane_scalars(kernel)
+    try:
+        vector_src = _CEmitter(
+            kernel, vector=True, lanes=frozenset(lanes)
+        ).gen_vector()
+        vector_status = "candidate"
+    except NativeUnsupported as exc:
+        vector_src = ""
+        vector_status = f"unsupported: {exc}"
+    header = f"/* kernel {kernel.name!r} — generated by repro.sim.native */\n"
+    source = header + _PRELUDE + "\n" + scalar_src
+    if vector_src:
+        source += "\n\n" + vector_src
+    return source + "\n", sorted(lanes), vector_status
+
+
+# ---------------------------------------------------------------------------
+# Artifact cache: build once (flock + atomic install), attach many
+# ---------------------------------------------------------------------------
+
+
+def _paths(root: str, nfp: str) -> dict[str, str]:
+    return {
+        "so": os.path.join(root, nfp + ".so"),
+        "meta": os.path.join(root, nfp + ".json"),
+        "c": os.path.join(root, nfp + ".c"),
+        "lock": os.path.join(root, nfp + ".lock"),
+    }
+
+
+def _evict(root: str, nfp: str) -> None:
+    # The .lock file is deliberately left in place: another process may
+    # hold an flock on it, and unlinking would let a third process
+    # create a second lock file — two winners of a one-build race.
+    p = _paths(root, nfp)
+    for key in ("so", "meta", "c"):
+        try:
+            os.unlink(p[key])
+        except OSError:
+            pass
+
+
+def _prune(root: str) -> None:
+    """LRU-bound the artifact cache by ``.so`` mtime."""
+    cap = native_cache_max()
+    try:
+        sos = [
+            f
+            for f in os.listdir(root)
+            if f.endswith(".so") and not f.startswith(".")
+        ]
+    except OSError:
+        return
+    if len(sos) <= cap:
+        return
+
+    def mtime(f: str) -> float:
+        try:
+            return os.path.getmtime(os.path.join(root, f))
+        except OSError:
+            return 0.0
+
+    sos.sort(key=mtime)
+    for f in sos[: len(sos) - cap]:
+        _evict(root, f[:-3])
+
+
+def _atomic_write_text(path: str, text: str) -> None:
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+
+
+def _load_meta(root: str, nfp: str, fp: str, tc: Toolchain) -> Optional[dict]:
+    """Validated sidecar meta, or None (evicting anything corrupt).
+
+    Corruption-safe by construction: a truncated ``.so``, a foreign
+    file, a half-installed pair (``.so`` without meta or vice versa),
+    or unparsable JSON is evicted and reported as a miss — never fatal.
+    """
+    p = _paths(root, nfp)
+    have_so, have_meta = os.path.exists(p["so"]), os.path.exists(p["meta"])
+    if not (have_so and have_meta):
+        if have_so or have_meta:
+            _evict(root, nfp)
+        return None
+    try:
+        with open(p["meta"]) as fh:
+            meta = json.load(fh)
+        ok = (
+            isinstance(meta, dict)
+            and meta.get("schema") == NATIVE_SCHEMA
+            and meta.get("kernel_fp") == fp
+            and meta.get("toolchain") == tc.identity
+            and meta.get("so_sha256") == _sha256_file(p["so"])
+        )
+    except (OSError, ValueError):
+        ok = False
+    if not ok:
+        _evict(root, nfp)
+        return None
+    return meta
+
+
+def _build_artifact(
+    kernel: LoopKernel, fp: str, tc: Toolchain, root: str, nfp: str
+) -> dict:
+    """Emit, compile, verify, and atomically install one artifact.
+
+    Serialized across processes by an exclusive ``flock`` on the
+    per-artifact lock file (auto-released if the holder dies);
+    re-checks the cache after acquiring so the losers of a build race
+    attach the winner's artifact instead of rebuilding.
+    """
+    t0 = time.perf_counter()
+    p = _paths(root, nfp)
+    with open(p["lock"], "w") as lk:
+        fcntl.flock(lk.fileno(), fcntl.LOCK_EX)
+        meta = _load_meta(root, nfp, fp, tc)
+        if meta is not None:
+            return meta
+        try:
+            source, lanes, vector_status = _emit_translation_unit(kernel)
+        except NativeUnsupported:
+            raise
+        except Exception as exc:
+            raise NativeUnsupported(f"codegen failed: {exc!r}") from exc
+        _atomic_write_text(p["c"], source)
+        tmp_so = os.path.join(root, f".{nfp}.{os.getpid()}.so.tmp")
+        try:
+            compile_shared(tc, p["c"], tmp_so)
+            # Verify on the tmp library (unique path → guaranteed-fresh
+            # dlopen) before anything is installed.
+            lib = ctypes.CDLL(tmp_so)
+            runner = _make_scalar_runner(lib, kernel)
+            verdict, detail = _verify_scalar(kernel, fp, runner)
+            if vector_status == "candidate":
+                try:
+                    vrun = _make_vector_runner(lib, kernel, frozenset(lanes))
+                    vector_status = _verify_vector(kernel, vrun)
+                except Exception as exc:
+                    vector_status = f"unsupported: wrapper failed ({exc!r})"
+            os.replace(tmp_so, p["so"])
+        finally:
+            try:
+                os.unlink(tmp_so)
+            except OSError:
+                pass
+        meta = {
+            "schema": NATIVE_SCHEMA,
+            "kernel": kernel.name,
+            "kernel_fp": fp,
+            "toolchain": tc.identity,
+            "so_sha256": _sha256_file(p["so"]),
+            "scalar": verdict,
+            "scalar_detail": detail,
+            "vector": vector_status,
+            "lanes": lanes,
+        }
+        # Meta is installed last: a .so without meta is treated as a
+        # half-install and evicted, never trusted.
+        _atomic_write_text(p["meta"], json.dumps(meta, indent=1, sort_keys=True))
+    _compile._STATS.native_build_s += time.perf_counter() - t0
+    return meta
+
+
+def _attach(kernel: LoopKernel, fp: str, tc: Toolchain, nfp: str):
+    """Memoized attach: load (building if needed) the kernel's artifact."""
+    hit = _ATTACHED.get(nfp)
+    if hit is not None:
+        return hit
+    root = native_cache_dir()
+    os.makedirs(root, exist_ok=True)
+    result = None
+    for attempt in (0, 1):
+        try:
+            meta = _load_meta(root, nfp, fp, tc)
+            if meta is None:
+                meta = _build_artifact(kernel, fp, tc, root, nfp)
+        except NativeUnsupported as exc:
+            _diag(kernel, f"-Rpass-missed=native: {exc}")
+            result = _Failure(str(exc))
+            break
+        except ToolchainError as exc:
+            _diag(kernel, f"native build failed: {exc.detail()}", warning=True)
+            result = _Failure(exc.detail())
+            break
+        try:
+            lib = np.ctypeslib.load_library(nfp, root)
+            result = _module_from(lib, meta, kernel)
+        except (OSError, AttributeError) as exc:
+            # Unloadable artifact (truncated by a crash, foreign file):
+            # evict and rebuild once, then give up gracefully.
+            _evict(root, nfp)
+            if attempt == 0:
+                continue
+            _diag(
+                kernel,
+                f"native artifact unloadable after rebuild: {exc!r}",
+                warning=True,
+            )
+            result = _Failure(f"artifact unloadable: {exc!r}")
+        break
+    assert result is not None
+    if isinstance(result, _NativeModule):
+        try:
+            os.utime(_paths(root, nfp)["so"])  # LRU recency
+        except OSError:
+            pass
+        _prune(root)
+    _ATTACHED[nfp] = result
+    return result
+
+
+def _module_from(lib, meta: dict, kernel: LoopKernel) -> _NativeModule:
+    scalar_run = _make_scalar_runner(lib, kernel)
+    lanes = frozenset(meta.get("lanes", ()))
+    vector_run = None
+    if meta.get("vector") == "exact":
+        vector_run = _make_vector_runner(lib, kernel, lanes)
+    return _NativeModule(lib, meta, scalar_run, vector_run, lanes)
+
+
+# ---------------------------------------------------------------------------
+# ctypes wrappers
+# ---------------------------------------------------------------------------
+
+_I64P = ctypes.POINTER(ctypes.c_int64)
+_VOIDPP = ctypes.POINTER(ctypes.c_void_p)
+
+
+def _marshal_bufs(arr_decls, bufs):
+    n = len(arr_decls)
+    bufp = (ctypes.c_void_p * max(1, n))()
+    for j, (name, decl) in enumerate(arr_decls):
+        arr = bufs.get(name)
+        if (
+            not isinstance(arr, np.ndarray)
+            or arr.dtype != NP_DTYPE[decl.dtype]
+            or not arr.flags["C_CONTIGUOUS"]
+        ):
+            raise CompileError(f"native marshal: buffer {name!r} unusable")
+        bufp[j] = arr.ctypes.data
+    return bufp
+
+
+def _make_scalar_runner(lib, kernel: LoopKernel):
+    """Wrap ``repro_scalar`` in the CompiledKernel ``fn`` calling
+    convention: ``fn(bufs, env, inner_trip, outer_trip) -> (env_out,
+    (order, seen, taken), iterations)``."""
+    fn = lib.repro_scalar
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [_VOIDPP, _VOIDPP, ctypes.c_int64, ctypes.c_int64] + [
+        _I64P
+    ] * 6
+    arr_decls = list(kernel.arrays.items())
+    sc_decls = list(kernel.scalars.items())
+    ng = sum(1 for s in kernel.stmts() if isinstance(s, IfBlock))
+    name = kernel.name
+
+    def run(bufs, env, inner_trip, outer_trip):
+        bufp = _marshal_bufs(arr_decls, bufs)
+        cells = []
+        scp = (ctypes.c_void_p * max(1, len(sc_decls)))()
+        for j, (sname, decl) in enumerate(sc_decls):
+            cell = np.empty(1, dtype=NP_DTYPE[decl.dtype])
+            try:
+                cell[0] = env[sname]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CompileError(
+                    f"native marshal: scalar {sname!r} ({exc})"
+                ) from exc
+            cells.append((sname, cell))
+            scp[j] = cell.ctypes.data
+        m = max(1, ng)
+        gseen = np.zeros(m, np.int64)
+        gtaken = np.zeros(m, np.int64)
+        gorder = np.zeros(m, np.int64)
+        gcount = np.zeros(1, np.int64)
+        fires = np.zeros(1, np.int64)
+        oob = np.zeros(1, np.int64)
+        iters = fn(
+            bufp,
+            scp,
+            int(inner_trip),
+            int(outer_trip),
+            gseen.ctypes.data_as(_I64P),
+            gtaken.ctypes.data_as(_I64P),
+            gorder.ctypes.data_as(_I64P),
+            gcount.ctypes.data_as(_I64P),
+            fires.ctypes.data_as(_I64P),
+            oob.ctypes.data_as(_I64P),
+        )
+        if fires[0]:
+            ufuncs.add_sqrt_guard_fires(int(fires[0]))
+        if oob[0]:
+            raise NativeError(
+                f"native kernel {name!r}: index out of bounds "
+                "(buffers may be partially mutated)"
+            )
+        env_out = {sname: cell[0] for sname, cell in cells}
+        order = [int(x) for x in gorder[: int(gcount[0])]]
+        return env_out, (order, gseen[:ng].tolist(), gtaken[:ng].tolist()), int(iters)
+
+    return run
+
+
+def _make_vector_runner(lib, kernel: LoopKernel, lanes: frozenset):
+    """Wrap ``repro_vector``: runs the vectorized lane blocks in place.
+
+    Lane-expanded scalars (reductions/privates) are mutated in their
+    numpy arrays; parameters are passed by value.  Raises
+    :class:`CompileError` on marshal problems *before* any mutation, so
+    the caller can silently fall back to the Python block loop.
+    """
+    fn = lib.repro_vector
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [_VOIDPP, _VOIDPP, ctypes.c_int64, ctypes.c_int64] + [
+        _I64P
+    ] * 2
+    arr_decls = list(kernel.arrays.items())
+    sc_decls = list(kernel.scalars.items())
+    name = kernel.name
+
+    def run(bufs, lane_env, vf, vec_trip):
+        bufp = _marshal_bufs(arr_decls, bufs)
+        keep = []
+        lp = (ctypes.c_void_p * max(1, len(sc_decls)))()
+        for j, (sname, decl) in enumerate(sc_decls):
+            v = lane_env.get(sname)
+            if sname in lanes:
+                if (
+                    not isinstance(v, np.ndarray)
+                    or v.dtype != NP_DTYPE[decl.dtype]
+                    or not v.flags["C_CONTIGUOUS"]
+                    or v.size < vf
+                ):
+                    raise CompileError(
+                        f"native marshal: lane scalar {sname!r} unusable"
+                    )
+                lp[j] = v.ctypes.data
+            else:
+                cell = np.empty(1, dtype=NP_DTYPE[decl.dtype])
+                try:
+                    cell[0] = v
+                except (TypeError, ValueError) as exc:
+                    raise CompileError(
+                        f"native marshal: scalar {sname!r} ({exc})"
+                    ) from exc
+                keep.append(cell)
+                lp[j] = cell.ctypes.data
+        fires = np.zeros(1, np.int64)
+        oob = np.zeros(1, np.int64)
+        fn(
+            bufp,
+            lp,
+            int(vf),
+            int(vec_trip),
+            fires.ctypes.data_as(_I64P),
+            oob.ctypes.data_as(_I64P),
+        )
+        if fires[0]:
+            ufuncs.add_sqrt_guard_fires(int(fires[0]))
+        if oob[0]:
+            raise NativeError(
+                f"native kernel {name!r}: index out of bounds "
+                "(buffers may be partially mutated)"
+            )
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Build-time verification
+# ---------------------------------------------------------------------------
+
+
+def _within_tolerance(ref, ref_bufs, got, got_bufs) -> bool:
+    """Exact guards/iterations/ints; floats within a tight tolerance."""
+    if (
+        ref.guard_probs != got.guard_probs
+        or ref.iterations != got.iterations
+        or set(ref_bufs) != set(got_bufs)
+        or set(ref.scalars) != set(got.scalars)
+    ):
+        return False
+
+    def close(x, y) -> bool:
+        x, y = np.asarray(x), np.asarray(y)
+        if x.dtype != y.dtype or x.shape != y.shape:
+            return False
+        if not np.issubdtype(x.dtype, np.floating):
+            return x.tobytes() == y.tobytes()
+        return bool(
+            np.allclose(
+                x.astype(np.float64),
+                y.astype(np.float64),
+                rtol=1e-4,
+                atol=1e-6,
+                equal_nan=True,
+            )
+        )
+
+    return all(close(ref_bufs[k], got_bufs[k]) for k in ref_bufs) and all(
+        close(ref.scalars[n], got.scalars[n]) for n in ref.scalars
+    )
+
+
+def _verify_scalar(kernel: LoopKernel, fp: str, runner) -> tuple[str, str]:
+    """Interpreter-vs-native check → ('exact'|'tolerance'|'mismatch', why)."""
+    ck = CompiledKernel(fp, "native", runner)
+    try:
+        ref_bufs = make_buffers(kernel, seed=0)
+        got_bufs = {k: v.copy() for k, v in ref_bufs.items()}
+        ref = run_scalar_interpreted(kernel, ref_bufs, None, _NATIVE_CHECK_ITERS)
+        got = _compile._execute(ck, kernel, got_bufs, None, _NATIVE_CHECK_ITERS)
+    except Exception as exc:
+        return "mismatch", f"native execution failed: {exc!r}"
+    if _compile.bit_identical(ref, ref_bufs, got, got_bufs):
+        return "exact", ""
+    if _within_tolerance(ref, ref_bufs, got, got_bufs):
+        return "tolerance", "float results within rtol=1e-4 (libm drift)"
+    return "mismatch", "self-check mismatch vs interpreter"
+
+
+def _verify_vector(kernel: LoopKernel, vrun) -> str:
+    """Compare the native vector entry against ``_exec_stmts_vector``
+    block-by-block on identical inputs → 'exact' | 'mismatch' |
+    'unsupported: why'.  Only 'exact' is ever used."""
+    from ..analysis.framework.passmanager import default_manager
+
+    trip = kernel.inner.trip
+    vf = min(4, trip)
+    if vf < 1:
+        return "unsupported: zero-trip loop"
+    vec_trip = min(trip - trip % vf, 4 * vf)
+    if vec_trip <= 0:
+        return "unsupported: no full lane block"
+    try:
+        infos = default_manager().get("scalars", kernel)
+        env_in = initial_scalars(kernel)
+        ref_bufs = make_buffers(kernel, seed=0)
+        got_bufs = {k: v.copy() for k, v in ref_bufs.items()}
+        ref_env, _ = make_lane_env(kernel, infos, env_in, vf)
+        got_env, _ = make_lane_env(kernel, infos, env_in, vf)
+        with np.errstate(all="ignore"):
+            for start in range(0, vec_trip, vf):
+                lanes_arr = np.arange(start, start + vf)
+                ctx = _Ctx(ref_bufs, ref_env, (lanes_arr,))
+                _exec_stmts_vector(kernel, kernel.body, ctx, None, vf)
+        vrun(got_bufs, got_env, vf, vec_trip)
+    except Exception as exc:
+        return f"unsupported: vector execution failed ({exc!r})"
+    for bname in ref_bufs:
+        if ref_bufs[bname].tobytes() != got_bufs[bname].tobytes():
+            return "mismatch"
+    for sname in kernel.scalars:
+        rv, gv = np.asarray(ref_env[sname]), np.asarray(got_env[sname])
+        if rv.dtype != gv.dtype or rv.tobytes() != gv.tobytes():
+            return "mismatch"
+    return "exact"
+
+
+# ---------------------------------------------------------------------------
+# Public API: the tier ladder hooks
+# ---------------------------------------------------------------------------
+
+
+def native_compiled(
+    kernel: LoopKernel, fp: str, forced: bool = False
+) -> Optional[CompiledKernel]:
+    """The kernel's native CompiledKernel, or None (tier unavailable,
+    static refusal, or self-check demotion).
+
+    ``forced=True`` (``get_compiled(kernel, "native")``) turns every
+    None into a :class:`CompileError` explaining why.
+    """
+    if not native_enabled():
+        if forced:
+            raise CompileError("native tier disabled (REPRO_NATIVE=0)")
+        return None
+    tc = find_toolchain()
+    if tc is None:
+        _note_degraded(kernel)
+        if forced:
+            raise CompileError(
+                f"no usable C toolchain ({toolchain_failure() or 'unknown'})"
+            )
+        return None
+    nfp = _native_fingerprint(fp, tc)
+    mod = _attach(kernel, fp, tc, nfp)
+    if isinstance(mod, _Failure):
+        if forced:
+            raise CompileError(f"native tier refused: {mod.reason}")
+        return None
+    verdict = mod.meta.get("scalar")
+    if verdict == "exact" or (verdict == "tolerance" and tolerance_enabled()):
+        return CompiledKernel(
+            fp, "native", mod.scalar_run, source="", reason=f"native ({verdict})"
+        )
+    detail = mod.meta.get("scalar_detail") or verdict
+    _compile._STATS.native_demoted += 1
+    if verdict == "tolerance":
+        _diag(
+            kernel,
+            "-Rpass-missed=native: demoted to the NumPy tier "
+            f"({detail}; set REPRO_NATIVE_TOLERANCE=1 to accept)",
+        )
+    else:
+        _diag(
+            kernel,
+            f"-Rpass-missed=native: demoted to the NumPy tier ({detail})",
+            warning=True,
+        )
+    if forced:
+        raise CompileError(f"native self-check demotion: {detail}")
+    return None
+
+
+def try_run_vector_blocks(plan, bufs, lane_env, vf, vec_trip) -> bool:
+    """Run ``run_vector``'s full-block loop natively, if possible.
+
+    Returns False — with *no* buffer mutation — on any refusal
+    (tier disabled, no toolchain, no verified vector entry, lane
+    classification mismatch with the baked artifact, marshal problems);
+    the caller falls back to the Python block loop.  On True the blocks
+    have executed: buffers and lane-expanded scalars are updated in
+    place, bit-identically to the Python path.
+    """
+    kernel = plan.kernel
+    if (
+        not native_enabled()
+        or kernel.depth != 1
+        or vf > _VF_MAX
+        or vec_trip <= 0
+    ):
+        return False
+    tc = find_toolchain()
+    if tc is None:
+        _note_degraded(kernel)
+        return False
+    fp = _compile.kernel_fingerprint(kernel)
+    mod = _attach(kernel, fp, tc, _native_fingerprint(fp, tc))
+    if isinstance(mod, _Failure) or mod.vector_run is None:
+        return False
+    plan_lanes = {
+        n
+        for n, i in plan.scalar_info.items()
+        if i.klass in (ScalarClass.REDUCTION, ScalarClass.PRIVATE)
+    }
+    if plan_lanes != set(mod.lanes):
+        return False
+    try:
+        mod.vector_run(bufs, lane_env, vf, vec_trip)
+    except CompileError:
+        return False
+    _compile._STATS.runs_native_vector += 1
+    return True

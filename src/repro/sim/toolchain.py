@@ -1,0 +1,208 @@
+"""Host C toolchain discovery and shared-library builds for the native tier.
+
+The native kernel tier (:mod:`.native`) needs exactly one capability
+from the host: compile a C translation unit into a loadable shared
+object.  This module finds a working compiler once per process —
+``REPRO_CC`` if set, else the first of ``cc``/``gcc``/``clang`` on
+``PATH`` — and *probe-compiles* a trivial library before trusting it,
+so a broken toolchain degrades at discovery time with one structured
+diagnostic instead of failing per kernel.
+
+The flag set is part of the semantic contract, not a tuning choice:
+
+* ``-fwrapv``          — signed integer overflow wraps, matching numpy's
+  two's-complement arithmetic;
+* ``-ffp-contract=off``— no FMA contraction, so float expression trees
+  round exactly like numpy's one-operation-at-a-time evaluation;
+* ``-O2 -fPIC -shared``— a plain optimized shared object.
+
+A :class:`Toolchain`'s ``identity`` digest (path + version + flags)
+keys the on-disk artifact cache: upgrading the compiler or changing a
+flag invalidates every cached ``.so``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "CFLAGS",
+    "LDFLAGS",
+    "Toolchain",
+    "ToolchainError",
+    "compile_shared",
+    "find_toolchain",
+    "reset_toolchain_memo",
+    "resolved_toolchain",
+    "toolchain_failure",
+]
+
+#: Compile flags every native artifact is built with (see module doc).
+CFLAGS = ("-O2", "-fPIC", "-shared", "-fwrapv", "-ffp-contract=off")
+#: Trailing link flags (libm for sqrt/exp).
+LDFLAGS = ("-lm",)
+
+#: Candidate compiler names probed, in order, when ``REPRO_CC`` is unset.
+CANDIDATES = ("cc", "gcc", "clang")
+
+_PROBE_SOURCE = """\
+#include <stdint.h>
+#include <math.h>
+int64_t repro_probe(int64_t x) { return x * 2 + (int64_t)sqrt(0.0); }
+"""
+
+
+class ToolchainError(Exception):
+    """A compile invocation failed; carries the structured diagnostics."""
+
+    def __init__(self, message: str, *, cmd=None, stdout: str = "", stderr: str = ""):
+        super().__init__(message)
+        self.cmd = list(cmd) if cmd else []
+        self.stdout = stdout
+        self.stderr = stderr
+
+    def detail(self, limit: int = 400) -> str:
+        text = str(self)
+        if self.stderr:
+            text += ": " + " ".join(self.stderr.split())[:limit]
+        return text
+
+
+@dataclass(frozen=True)
+class Toolchain:
+    """A probed, working host C compiler."""
+
+    path: str
+    version: str
+    flags: tuple = CFLAGS
+
+    @property
+    def identity(self) -> str:
+        """Digest keying cached artifacts: compiler + version + flags."""
+        blob = "|".join((self.path, self.version, " ".join(self.flags)))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+#: Memoized discovery result: unset, or (toolchain-or-None, failure-reason).
+_RESOLVED: Optional[tuple[Optional[Toolchain], str]] = None
+
+
+def reset_toolchain_memo() -> None:
+    """Forget the discovery result (tests flip ``REPRO_CC`` mid-process)."""
+    global _RESOLVED
+    _RESOLVED = None
+
+
+def toolchain_failure() -> str:
+    """Why discovery failed ('' while unresolved or when it succeeded)."""
+    return _RESOLVED[1] if _RESOLVED is not None else ""
+
+
+def resolved_toolchain() -> Optional[Toolchain]:
+    """The memoized toolchain without triggering a probe (None if the
+    probe has not run yet or discovery failed)."""
+    return _RESOLVED[0] if _RESOLVED is not None else None
+
+
+def find_toolchain() -> Optional[Toolchain]:
+    """The host toolchain, probed once per process.
+
+    ``REPRO_CC`` names the compiler exactly (no search, no fallback —
+    this is also the deterministic "no toolchain" switch: point it at a
+    nonexistent path).  Otherwise the first ``cc``/``gcc``/``clang``
+    on ``PATH`` that passes the probe compile wins.  Returns ``None``
+    with :func:`toolchain_failure` set when nothing works.
+    """
+    global _RESOLVED
+    if _RESOLVED is not None:
+        return _RESOLVED[0]
+    override = os.environ.get("REPRO_CC", "").strip()
+    if override:
+        candidates = [override]
+    else:
+        candidates = [
+            path
+            for name in CANDIDATES
+            if (path := shutil.which(name)) is not None
+        ]
+        if not candidates:
+            _RESOLVED = (None, "no C compiler on PATH (tried cc, gcc, clang)")
+            return None
+    reasons = []
+    for cand in candidates:
+        try:
+            tc = _probe(cand)
+        except ToolchainError as exc:
+            reasons.append(f"{cand}: {exc.detail()}")
+            continue
+        _RESOLVED = (tc, "")
+        return tc
+    _RESOLVED = (None, "; ".join(reasons))
+    return None
+
+
+def _probe(compiler: str) -> Toolchain:
+    """Compile, load, and call a trivial shared object with ``compiler``."""
+    version = _version_of(compiler)
+    with tempfile.TemporaryDirectory(prefix="repro-toolchain-") as tmp:
+        src = os.path.join(tmp, "probe.c")
+        out = os.path.join(tmp, "probe.so")
+        with open(src, "w") as fh:
+            fh.write(_PROBE_SOURCE)
+        tc = Toolchain(path=compiler, version=version)
+        compile_shared(tc, src, out)
+        try:
+            lib = ctypes.CDLL(out)
+            lib.repro_probe.restype = ctypes.c_int64
+            lib.repro_probe.argtypes = [ctypes.c_int64]
+            if lib.repro_probe(21) != 42:
+                raise ToolchainError("probe library returned wrong result")
+        except OSError as exc:
+            raise ToolchainError(f"probe library failed to load: {exc}") from exc
+    return tc
+
+
+def _version_of(compiler: str) -> str:
+    try:
+        proc = subprocess.run(
+            [compiler, "--version"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise ToolchainError(
+            f"cannot run {compiler!r}: {exc}", cmd=[compiler, "--version"]
+        ) from exc
+    if proc.returncode != 0:
+        raise ToolchainError(
+            f"{compiler!r} --version failed (exit {proc.returncode})",
+            cmd=[compiler, "--version"],
+            stdout=proc.stdout,
+            stderr=proc.stderr,
+        )
+    first = proc.stdout.splitlines()[0].strip() if proc.stdout else ""
+    return first or "unknown"
+
+
+def compile_shared(tc: Toolchain, source_path: str, out_path: str) -> None:
+    """Compile one C file into a shared object, or raise ToolchainError."""
+    cmd = [tc.path, *tc.flags, source_path, "-o", out_path, *LDFLAGS]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise ToolchainError(f"compiler invocation failed: {exc}", cmd=cmd) from exc
+    if proc.returncode != 0 or not os.path.exists(out_path):
+        raise ToolchainError(
+            f"compile failed (exit {proc.returncode})",
+            cmd=cmd,
+            stdout=proc.stdout,
+            stderr=proc.stderr,
+        )

@@ -1,0 +1,429 @@
+"""Native compiled tier tests (repro.sim.native + repro.sim.toolchain).
+
+The native tier renders kernel IR to C, builds a shared object with the
+host toolchain, and routes the measurement hot path through ctypes.
+Its contract mirrors the kernel compiler's: *bit-identity* with the
+interpreter and with the NumPy tier (``REPRO_NATIVE=0``) — buffers,
+scalars, guard statistics, sqrt-guard fire counts — plus well-behaved
+infrastructure: fingerprint-keyed on-disk artifacts, concurrent builds
+that compile once, corruption-safe loads, LRU bounds, and graceful
+degradation (one remark, zero failures) on hosts without a compiler.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.analysis.framework.passmanager import default_manager
+from repro.experiments import DatasetSpec
+from repro.ir import fsqrt
+from repro.pipeline import MeasurementCache, RetryPolicy, measure_suite
+from repro.pipeline.build import DatasetBuildStats
+from repro.sim import (
+    bit_identical,
+    clear_compile_cache,
+    clear_guard_prob_memo,
+    estimate_guard_probs,
+    kernel_fingerprint,
+    make_buffers,
+    run_scalar_compiled,
+    run_scalar_interpreted,
+    run_vector,
+)
+from repro.sim import native, ufuncs
+from repro.sim.compile import _execute, compile_summary
+from repro.targets import ARMV8_NEON
+from repro.tsvc import all_kernels
+from repro.vectorize import vectorize_loop
+from repro.vectorize.plan import VectorizationPlan
+
+from tests.helpers import SMALL, build, copy_buffers
+
+SUITE = list(all_kernels(dims=SMALL))
+
+HAVE_CC = native.find_toolchain() is not None
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no usable C toolchain")
+
+
+@pytest.fixture(autouse=True)
+def _clean_tier_state():
+    """Each test starts and ends with fresh per-process tier state."""
+    clear_compile_cache()
+    native.reset_native_state()
+    yield
+    clear_compile_cache()
+    native.reset_native_state()
+
+
+def tiny_kernel(name="nk", scale=2.0):
+    def body(k):
+        a = k.array("a", extents=(64,))
+        b = k.array("b", extents=(64,))
+        i = k.loop(64)
+        a[i] = b[i] * scale
+
+    return build(name, body)
+
+
+def so_files(root):
+    return sorted(f for f in os.listdir(root) if f.endswith(".so"))
+
+
+# -- suite-wide parity with the NumPy tier (the acceptance property) ---------
+
+
+@needs_cc
+@pytest.mark.parametrize("seed", [0, 1])
+def test_suite_parity_native_vs_numpy_tier(seed, monkeypatch):
+    """Default (native) and ``REPRO_NATIVE=0`` runs of every TSVC
+    kernel are bit-indistinguishable: buffer bytes, scalar bits, guard
+    order/counts, iteration counts."""
+    start = compile_summary()["kernels_native"]
+    reference = {}
+    for kernel in SUITE:
+        bufs = make_buffers(kernel, seed=seed)
+        reference[kernel.name] = (run_scalar_compiled(kernel, bufs), bufs)
+    mid = compile_summary()["kernels_native"]
+    assert mid > start
+
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    clear_compile_cache()
+    native.reset_native_state()
+    mismatched = []
+    for kernel in SUITE:
+        bufs = make_buffers(kernel, seed=seed)
+        got = run_scalar_compiled(kernel, bufs)
+        ref, ref_bufs = reference[kernel.name]
+        if not bit_identical(ref, ref_bufs, got, bufs):
+            mismatched.append(kernel.name)
+    assert mismatched == []
+    assert compile_summary()["kernels_native"] == mid  # none promoted
+
+
+@needs_cc
+def test_guard_probs_parity_with_numpy_tier(monkeypatch):
+    """Guard-probability estimation — the measurement feature that
+    actually consumes functional runs — is identical across tiers."""
+    from repro.ir.stmt import IfBlock
+
+    guarded = [
+        k for k in SUITE if any(isinstance(s, IfBlock) for s in k.stmts())
+    ][:8]
+    assert guarded, "suite lost its guarded kernels?"
+    clear_guard_prob_memo()
+    native_probs = {k.name: estimate_guard_probs(k) for k in guarded}
+
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    clear_compile_cache()
+    native.reset_native_state()
+    clear_guard_prob_memo()
+    for k in guarded:
+        assert estimate_guard_probs(k) == native_probs[k.name], k.name
+
+
+@needs_cc
+def test_run_vector_native_blocks_parity(monkeypatch):
+    """``run_vector`` full blocks through the native entry match the
+    Python block loop bit-for-bit, on real vectorization plans."""
+    plans = []
+    for kernel in SUITE:
+        plan = vectorize_loop(kernel, ARMV8_NEON)
+        if isinstance(plan, VectorizationPlan):
+            plans.append(plan)
+        if len(plans) == 8:
+            break
+    ran_native = 0
+    for plan in plans:
+        kernel = plan.kernel
+        b_native = make_buffers(kernel, seed=3)
+        b_python = copy_buffers(b_native)
+        before = compile_summary()["runs_native_vector"]
+        r_native = run_vector(plan, b_native)
+        if compile_summary()["runs_native_vector"] > before:
+            ran_native += 1
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native.reset_native_state()
+        r_python = run_vector(plan, b_python)
+        monkeypatch.delenv("REPRO_NATIVE")
+        native.reset_native_state()
+        assert r_native.iterations == r_python.iterations
+        for name in r_native.scalars:
+            a = np.asarray(r_native.scalars[name])
+            b = np.asarray(r_python.scalars[name])
+            assert a.dtype == b.dtype and a.tobytes() == b.tobytes(), (
+                f"{kernel.name}: lane scalar {name} diverged"
+            )
+        for name in b_native:
+            assert np.array_equal(b_native[name], b_python[name]), (
+                f"{kernel.name}: buffer {name} diverged"
+            )
+    assert ran_native > 0, "no plan exercised the native vector entry"
+
+
+@needs_cc
+def test_sqrt_guard_fires_counted_natively():
+    """The C tier's ``sqrt(fabs(x))`` guard reports fire counts into
+    the same process counter the interpreter uses, one per evaluation."""
+
+    def body(k):
+        a = k.array("a", extents=(64,))
+        b = k.array("b", extents=(64,))
+        i = k.loop(64)
+        a[i] = fsqrt(b[i])
+
+    kernel = build("nsqrt", body)
+    ck = native.native_compiled(kernel, kernel_fingerprint(kernel))
+    assert ck is not None and ck.mode == "native"
+
+    ref_bufs = make_buffers(kernel, seed=0)
+    assert (ref_bufs["b"] < 0).any()  # make_buffers spans [-1, 1]
+    before = ufuncs.sqrt_guard_fires()
+    run_scalar_interpreted(kernel, ref_bufs)
+    ref_fired = ufuncs.sqrt_guard_fires() - before
+    assert ref_fired > 0
+
+    bufs = make_buffers(kernel, seed=0)
+    before = ufuncs.sqrt_guard_fires()
+    _execute(ck, kernel, bufs, None, None)
+    assert ufuncs.sqrt_guard_fires() - before == ref_fired
+    np.testing.assert_array_equal(bufs["a"], ref_bufs["a"])
+
+
+# -- artifact cache hygiene --------------------------------------------------
+
+
+@needs_cc
+def test_fingerprint_invalidation_rebuilds_so(tmp_path, monkeypatch):
+    """A semantically different kernel gets its own ``.so``; the same
+    kernel re-attaches without adding artifacts."""
+    monkeypatch.setenv("REPRO_NATIVE_CACHE_DIR", str(tmp_path))
+    base = tiny_kernel(scale=2.0)
+    assert native.native_compiled(base, kernel_fingerprint(base)) is not None
+    assert len(so_files(tmp_path)) == 1
+
+    mutated = tiny_kernel(scale=3.0)
+    assert kernel_fingerprint(mutated) != kernel_fingerprint(base)
+    assert (
+        native.native_compiled(mutated, kernel_fingerprint(mutated)) is not None
+    )
+    assert len(so_files(tmp_path)) == 2
+
+    native.clear_attached()
+    built_s = compile_summary()["native_build_s"]
+    assert native.native_compiled(base, kernel_fingerprint(base)) is not None
+    assert len(so_files(tmp_path)) == 2  # attach, not rebuild
+    assert compile_summary()["native_build_s"] == built_s
+
+
+@needs_cc
+def test_corrupt_artifacts_evicted_not_fatal(tmp_path, monkeypatch):
+    """Truncated/foreign cache files are evicted and rebuilt; loads
+    never raise out of the tier."""
+    monkeypatch.setenv("REPRO_NATIVE_CACHE_DIR", str(tmp_path))
+    kernel = tiny_kernel()
+    fp = kernel_fingerprint(kernel)
+    assert native.native_compiled(kernel, fp) is not None
+    (so_name,) = so_files(tmp_path)
+
+    # Foreign bytes in the .so: sha256 check evicts, build recreates.
+    # (Unlink first: truncating the mapped inode in place would SIGBUS
+    # the already-loaded copy, as it would any shared library.)
+    (tmp_path / so_name).unlink()
+    with open(tmp_path / so_name, "wb") as fh:
+        fh.write(b"not an ELF object")
+    native.clear_attached()
+    ck = native.native_compiled(kernel, fp)
+    assert ck is not None
+    bufs = make_buffers(kernel, seed=0)
+    ref_bufs = copy_buffers(bufs)
+    got = _execute(ck, kernel, bufs, None, None)
+    ref = run_scalar_interpreted(kernel, ref_bufs)
+    assert bit_identical(ref, ref_bufs, got, bufs)
+
+    # Torn meta sidecar: half-install is treated as absent.
+    meta_name = so_name[: -len(".so")] + ".json"
+    with open(tmp_path / meta_name, "w") as fh:
+        fh.write('{"schema":')
+    native.clear_attached()
+    assert native.native_compiled(kernel, fp) is not None
+
+
+@needs_cc
+def test_lru_prune_bounds_artifact_count(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_NATIVE_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_NATIVE_CACHE_MAX", "3")
+    for scale in (2.0, 3.0, 4.0, 5.0, 6.0, 7.0):
+        kernel = tiny_kernel(scale=scale)
+        assert (
+            native.native_compiled(kernel, kernel_fingerprint(kernel))
+            is not None
+        )
+    assert len(so_files(tmp_path)) <= 3
+
+
+@needs_cc
+def test_clear_native_artifacts_purges(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_NATIVE_CACHE_DIR", str(tmp_path))
+    kernel = tiny_kernel()
+    assert native.native_compiled(kernel, kernel_fingerprint(kernel)) is not None
+    assert so_files(tmp_path)
+    removed = native.clear_native_artifacts()
+    assert removed == 1
+    assert not any(
+        f.endswith((".so", ".json", ".c")) for f in os.listdir(tmp_path)
+    )
+
+
+# -- concurrency: build once, attach many ------------------------------------
+
+
+_LOCK_WORKER = """\
+import sys
+sys.path.insert(0, {src!r})
+from repro.ir import KernelBuilder
+from repro.sim import kernel_fingerprint
+from repro.sim import native
+
+k = KernelBuilder("lockk")
+a = k.array("a", extents=(64,))
+b = k.array("b", extents=(64,))
+i = k.loop(64)
+a[i] = b[i] * 2.0
+kernel = k.build()
+ck = native.native_compiled(kernel, kernel_fingerprint(kernel))
+print("mode", None if ck is None else ck.mode)
+"""
+
+
+@needs_cc
+def test_concurrent_builds_compile_once(tmp_path):
+    """Two processes racing on the same kernel produce one compile:
+    the flock loser re-checks the installed meta and attaches."""
+    cache = tmp_path / "cache"
+    cache.mkdir()
+    log = tmp_path / "cc.log"
+    real_cc = native.find_toolchain().path
+    wrapper = tmp_path / "cc-logged"
+    wrapper.write_text(
+        "#!/bin/sh\n"
+        f'case "$*" in *{cache}*) echo "COMPILE $*" >> {log}; sleep 0.6;; esac\n'
+        f'exec {real_cc} "$@"\n'
+    )
+    wrapper.chmod(0o755)
+
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env = dict(
+        os.environ,
+        REPRO_CC=str(wrapper),
+        REPRO_NATIVE_CACHE_DIR=str(cache),
+    )
+    script = _LOCK_WORKER.format(src=src)
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", script],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for _ in range(2)
+    ]
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        assert "mode native" in out, (out, err)
+    compiles = [
+        line for line in log.read_text().splitlines() if line.startswith("COMPILE")
+    ]
+    assert len(compiles) == 1, compiles
+
+
+# -- degradation without a toolchain -----------------------------------------
+
+
+def test_missing_toolchain_degrades_with_one_remark(monkeypatch):
+    """No compiler: the sweep path still works via the NumPy tier, and
+    exactly one ``-Rpass-missed=native`` remark is emitted per process."""
+    monkeypatch.setenv("REPRO_CC", "/nonexistent/compiler")
+    native.reset_native_state()
+    diags = default_manager().diagnostics
+    before = len(diags.remarks(pass_name="native"))
+    for kernel in SUITE[:6]:
+        bufs = make_buffers(kernel, seed=0)
+        ref_bufs = copy_buffers(bufs)
+        got = run_scalar_compiled(kernel, bufs)
+        ref = run_scalar_interpreted(kernel, ref_bufs)
+        assert bit_identical(ref, ref_bufs, got, bufs), kernel.name
+    new = diags.remarks(pass_name="native")[before:]
+    assert len(new) == 1
+    assert "-Rpass-missed=native" in new[0].message
+    assert not native.native_available()
+    assert compile_summary()["toolchain"] is None
+
+
+def test_repro_native_0_disables_without_remark(monkeypatch):
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    native.reset_native_state()
+    diags = default_manager().diagnostics
+    before = len(diags.remarks(pass_name="native"))
+    kernel = tiny_kernel()
+    assert native.native_compiled(kernel, kernel_fingerprint(kernel)) is None
+    assert len(diags.remarks(pass_name="native")) == before
+    assert not native.native_enabled()
+
+
+# -- pipeline integration ----------------------------------------------------
+
+SPEC = DatasetSpec("armv8-neon", "llv")
+FAST = RetryPolicy(max_attempts=5, base_delay=0.0)
+
+
+def no_cache(tmp_path):
+    return MeasurementCache(root=tmp_path / "off", enabled=False)
+
+
+@needs_cc
+def test_sweep_stats_record_tiers(tmp_path):
+    stats = DatasetBuildStats()
+    samples, _failures = measure_suite(
+        SPEC, workers=1, cache=no_cache(tmp_path), stats=stats
+    )
+    assert samples
+    assert stats.strategy == "serial"
+    assert stats.tiers.get("native", 0) > 0
+    assert stats.compile_build_s >= 0.0
+
+
+@needs_cc
+def test_chaos_sweep_native_parity(tmp_path, monkeypatch):
+    """Under fault injection (supervised pool, retries), the surviving
+    samples are identical whether or not the native tier is on."""
+    with_native = measure_suite(
+        SPEC,
+        workers=2,
+        cache=no_cache(tmp_path),
+        faults="flaky_exc:0.3",
+        retry=FAST,
+    )[0]
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    clear_compile_cache()
+    native.reset_native_state()
+    without = measure_suite(
+        SPEC,
+        workers=2,
+        cache=no_cache(tmp_path),
+        faults="flaky_exc:0.3",
+        retry=FAST,
+    )[0]
+    assert [s.name for s in with_native] == [s.name for s in without]
+    for a, b in zip(with_native, without):
+        assert a.measured_speedup == b.measured_speedup
+        assert a.measured_scalar_cpi == b.measured_scalar_cpi
+        assert a.measured_vector_cpi == b.measured_vector_cpi
+        assert np.array_equal(a.scalar_features, b.scalar_features)
+        assert np.array_equal(a.vector_features, b.vector_features)
