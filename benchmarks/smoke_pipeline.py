@@ -27,6 +27,13 @@ Measured (best of ``--repeat`` runs, full ARM+x86 suite sweep):
   ``warm_s`` keeps the attach memos.  Gated: the process-cold native
   sweep must beat the cold NumPy-tier sweep ≥5×, or the section is an
   explicit ``skipped`` entry on hosts without a C toolchain;
+* ``ranges``           — bounds-check elision pricing: a warm native
+  sweep at *full* trips over the kernels whose gather/scatter accesses
+  the range analysis proved in bounds, with proofs consumed
+  (``REPRO_RANGES=1``, unguarded fast body behind the runtime contract
+  scan) vs disabled (``REPRO_RANGES=0``, per-element ``repro_idx``
+  clamps).  Gated: elision must win ≥1.05× and both configurations
+  must stay bit-identical; ``skipped`` without a toolchain;
 * ``loocv_refit_s`` / ``loocv_fast_s`` — L2 LOOCV, refit loop vs
   hat-matrix fast path, on the ARM dataset;
 * ``loocv_nnls``       — NNLS LOOCV, cold Lawson–Hanson refit loop vs
@@ -221,6 +228,121 @@ def native_bench(repeat: int, interp_s: float, numpy_cold_s: float) -> tuple[dic
     return section, ok
 
 
+def ranges_bench(repeat: int) -> tuple[dict, bool]:
+    """Price the range-analysis bounds elision on the native tier.
+
+    Sweeps the kernels whose native artifact actually carries a
+    contract dispatcher (the codegen's profitability gate keeps
+    independent scatter streams on the plain guarded body) with range
+    proofs consumed vs disabled.  Both configurations are compiled up
+    front and kept resident — their cache fingerprints differ — and
+    the sweep drives the native entry closures directly, so the clock
+    sees marshalling + dispatch + kernel body and nothing tier-generic.
+    Each kernel is timed *warm* — its two arms alternate back-to-back
+    while its buffers stay cache-resident, and the median call per arm
+    is kept — then the sweep totals are the sums of the per-kernel
+    medians.  Interleaving the arms cancels slow drift of the host
+    clock speed out of the ratio, and per-kernel pairing keeps the
+    comparison out of the cache-cold regime a round-robin sweep of
+    every working set would create.  Buffers are built once per kernel
+    and reused across timed runs — the index arrays are never written,
+    so the data contract keeps holding.
+    """
+    import statistics
+
+    from repro.sim import native, native_available, reset_native_state
+    from repro.sim import compile as simcompile
+    from repro.sim.compile import bit_identical
+    from repro.sim.executor import initial_scalars
+    from repro.sim.toolchain import toolchain_failure
+
+    reset_native_state()
+    clear_compile_cache()
+    if not native_available():
+        reason = toolchain_failure() or "native tier disabled"
+        return {"skipped": reason}, True
+
+    tc = native.find_toolchain()
+    kernels = []
+    for k in all_kernels():
+        fp = simcompile._cache_fp(k)
+        mod = native._attach(k, fp, tc, native._native_fingerprint(fp, tc))
+        if isinstance(mod, native._NativeModule) and mod.meta.get(
+            "elided", {}
+        ).get("gathers"):
+            kernels.append(k)
+    if not kernels:
+        return {"skipped": "no contract-dispatching gather kernels"}, False
+    # Several independent allocations per kernel: gather timings are
+    # sensitive to page-offset aliasing between the arrays, so one
+    # allocation draw per kernel leaves the aggregate hostage to
+    # placement luck.  Each draw is timed warm and the medians summed.
+    seeds = (0, 1, 2)
+    buffers = {
+        (k.name, s): make_buffers(k, seed=s) for k in kernels for s in seeds
+    }
+    envs = {k.name: initial_scalars(k) for k in kernels}
+    trips = {k.name: simcompile._trips(k, None) for k in kernels}
+
+    cks_elided = {k.name: simcompile.get_compiled(k) for k in kernels}
+    os.environ["REPRO_RANGES"] = "0"
+    try:
+        cks_guarded = {k.name: simcompile.get_compiled(k) for k in kernels}
+    finally:
+        os.environ.pop("REPRO_RANGES", None)
+    for cks in (cks_elided, cks_guarded):
+        for name, ck in cks.items():
+            if ck.mode != "native":
+                return {"skipped": f"{name} not on the native tier"}, False
+
+    rounds = max(40, repeat * 8)
+    elided_s = guarded_s = 0.0
+    for k in kernels:
+        it, ot = trips[k.name]
+        env = envs[k.name]
+        fn_e = cks_elided[k.name].fn
+        fn_g = cks_guarded[k.name].fn
+        for s in seeds:
+            bufs = buffers[(k.name, s)]
+            fn_e(bufs, env, it, ot)  # warm: caches, branch state
+            fn_g(bufs, env, it, ot)
+            et, gt = [], []
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                fn_e(bufs, env, it, ot)
+                et.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                fn_g(bufs, env, it, ot)
+                gt.append(time.perf_counter() - t0)
+            elided_s += statistics.median(et)
+            guarded_s += statistics.median(gt)
+
+    # Bit-identity of the two configurations on fresh buffers.
+    identical = True
+    for k in kernels:
+        b1 = make_buffers(k, seed=1)
+        r1 = run_scalar_compiled(k, b1, None, None)
+        os.environ["REPRO_RANGES"] = "0"
+        try:
+            b0 = make_buffers(k, seed=1)
+            r0 = run_scalar_compiled(k, b0, None, None)
+        finally:
+            os.environ.pop("REPRO_RANGES", None)
+        identical = identical and bit_identical(r1, b1, r0, b0)
+    reset_native_state()
+    clear_compile_cache()
+
+    section = {
+        "kernels": [k.name for k in kernels],
+        "elided_warm_s": round(elided_s, 5),
+        "guarded_warm_s": round(guarded_s, 5),
+        "elision_speedup": round(guarded_s / elided_s, 3),
+        "bit_identical": identical,
+    }
+    ok = section["elision_speedup"] >= 1.05 and identical
+    return section, ok
+
+
 def run_pytest_benchmarks() -> dict:
     """Run the two bench files and return pytest-benchmark's stats."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -323,6 +445,7 @@ def main(argv: list[str] | None = None) -> int:
     native_section, native_ok = native_bench(
         args.repeat, interp_s, compile_section["compiled_cold_s"]
     )
+    ranges_section, ranges_ok = ranges_bench(args.repeat)
 
     if args.native_only:
         report = {
@@ -335,13 +458,15 @@ def main(argv: list[str] | None = None) -> int:
             "config": {"workers": args.workers, "repeat": args.repeat},
             "executor_compile": compile_section,
             "native": native_section,
+            "ranges": ranges_section,
         }
         print(json.dumps(report, indent=2))
-        if not (compile_ok and native_ok):
+        if not (compile_ok and native_ok and ranges_ok):
             print(
                 "NATIVE SMOKE FAILURE: the kernel compiler missed its 5x "
-                "cold-sweep bar or the native tier missed its 5x bar over "
-                "the NumPy tier"
+                "cold-sweep bar, the native tier missed its 5x bar over "
+                "the NumPy tier, or bounds-check elision missed its "
+                "1.05x bar / broke bit-identity"
             )
             return 1
         return 0
@@ -441,6 +566,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "executor_compile": compile_section,
         "native": native_section,
+        "ranges": ranges_section,
         "static_prepass": {
             "warm_with_prepass_s": round(warm_pre, 4),
             "warm_without_prepass_s": round(warm_nopre, 4),
@@ -515,6 +641,7 @@ def main(argv: list[str] | None = None) -> int:
         and parallel_ok
         and compile_ok
         and native_ok
+        and ranges_ok
         and nnls_ok
         and experiments_ok
     ):
@@ -524,8 +651,10 @@ def main(argv: list[str] | None = None) -> int:
             "supervised pool costs >5% over the raw executor, the "
             "parallel sweep silently lost to serial, the kernel "
             "compiler missed its 5x cold-sweep bar, the native tier "
-            "missed its 5x bar over the NumPy tier, warm-start NNLS "
-            "LOOCV regressed, or the experiment engine missed its gates"
+            "missed its 5x bar over the NumPy tier, bounds-check "
+            "elision missed its 1.05x bar or broke bit-identity, "
+            "warm-start NNLS LOOCV regressed, or the experiment engine "
+            "missed its gates"
         )
         return 1
     return 0

@@ -5,6 +5,8 @@ and structured remarks) lives in :mod:`repro.analysis.framework`.
 """
 
 from . import framework
+from .framework.ranges import SafetyReport, crosscheck_kernel, prove_safe
+from .ranges import Interval, KernelRanges, analyze_ranges
 from .access import (
     AccessInfo,
     AccessPattern,
@@ -38,6 +40,12 @@ from .reduction import (
 
 __all__ = [
     "framework",
+    "Interval",
+    "KernelRanges",
+    "SafetyReport",
+    "analyze_ranges",
+    "crosscheck_kernel",
+    "prove_safe",
     "AccessInfo",
     "AccessPattern",
     "classify_stride",

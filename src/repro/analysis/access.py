@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from typing import Iterator, Optional
 
 from ..ir.expr import Affine, Expr, Indirect, Load
 from ..ir.kernel import ArrayDecl, LoopKernel

@@ -44,8 +44,32 @@ from .racedetector import (
     RaceReport,
     analyze_races,
 )
+from .ranges import (
+    AccessBounds,
+    BoundsCheckPass,
+    BoundsInfo,
+    GuardRangeInfo,
+    GuardRangePass,
+    RangesResult,
+    SafetyReport,
+    ValueRangePass,
+    crosscheck_kernel,
+    prove_safe,
+    ranges_enabled,
+)
 
 __all__ = [
+    "AccessBounds",
+    "BoundsCheckPass",
+    "BoundsInfo",
+    "GuardRangeInfo",
+    "GuardRangePass",
+    "RangesResult",
+    "SafetyReport",
+    "ValueRangePass",
+    "crosscheck_kernel",
+    "prove_safe",
+    "ranges_enabled",
     "Diagnostics",
     "Remark",
     "Severity",

@@ -8,8 +8,10 @@ Four families of findings:
   (warning, via def-use chains);
 * **unused declarations** — arrays/scalars declared but never
   referenced by the body (warning);
-* **constant guards** — ``if`` conditions that fold to a constant, so
-  one arm is dead (warning);
+* **constant guards** — ``if`` conditions the value-range analysis
+  proves constant — literal folds and provable bounds like ``i < N``
+  alike — so one arm is dead (warning; init-contingent verdicts are
+  informational remarks);
 * **vectorization hazards** — non-affine (indirect) subscripts that
   silently defeat affine dependence analysis, and inner-loop-invariant
   statements (informational remarks; they change cost, not meaning).
@@ -23,20 +25,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ...ir.expr import (
-    BinOp,
-    BinOpKind,
-    CmpKind,
-    Compare,
-    Const,
-    Expr,
-    Indirect,
-    Select,
-    UnOp,
-    UnOpKind,
-)
+from ...ir.expr import Indirect
 from ...ir.kernel import LoopKernel
-from ...ir.stmt import ArrayStore, IfBlock
 from ..access import linearize
 from .diagnostics import Remark, Severity
 from .passmanager import AnalysisManager, AnalysisPass, register_pass
@@ -46,6 +36,7 @@ from .passes import (
     LoopInvariantPass,
     stmt_list,
 )
+from .ranges import GuardRangePass
 
 PASS = "lint"
 
@@ -61,7 +52,7 @@ class LintPass(AnalysisPass):
         remarks += _dead_array_stores(kernel, am)
         remarks += _dead_scalar_defs(kernel, am)
         remarks += _unused_declarations(kernel)
-        remarks += _constant_guards(kernel)
+        remarks += _constant_guards(kernel, am)
         remarks += _vectorization_hazards(kernel, am)
         return tuple(remarks)
 
@@ -181,14 +172,20 @@ def _unused_declarations(kernel: LoopKernel) -> list[Remark]:
     return out
 
 
-def _constant_guards(kernel: LoopKernel) -> list[Remark]:
+def _constant_guards(kernel: LoopKernel, am: AnalysisManager) -> list[Remark]:
+    """Guards the range analysis proves constant.
+
+    Routed through :class:`~.ranges.GuardRangePass` instead of a local
+    literal folder, so conditions like ``i < N`` with provable
+    induction-variable bounds are flagged too.  Pure verdicts (true for
+    any scalar inputs) are dead code and warn; verdicts that hold only
+    for the declared scalar inits are data, not structure, and surface
+    as informational remarks.
+    """
+    guards = am.get(GuardRangePass, kernel)
+    stmts = stmt_list(kernel)
     out: list[Remark] = []
-    for idx, stmt in enumerate(stmt_list(kernel)):
-        if not isinstance(stmt, IfBlock):
-            continue
-        val = _fold_const(stmt.cond)
-        if val is None:
-            continue
+    for idx, val in sorted(guards.verdicts.items()):
         arm = "else" if val else "then"
         always = "true" if val else "false"
         out.append(
@@ -201,8 +198,25 @@ def _constant_guards(kernel: LoopKernel) -> list[Remark]:
                     f"the {arm} branch is dead code"
                 ),
                 stmt_index=idx,
-                stmt=str(stmt.cond),
+                stmt=str(stmts[idx].cond),
                 args=(("value", always),),
+            )
+        )
+    for idx, val in sorted(guards.init_verdicts.items()):
+        always = "true" if val else "false"
+        out.append(
+            Remark(
+                severity=Severity.REMARK,
+                pass_name=PASS,
+                kernel=kernel.name,
+                message=(
+                    f"guard at S{idx} is always {always} for the declared "
+                    "scalar initial values (not folded: callers may "
+                    "override scalars)"
+                ),
+                stmt_index=idx,
+                stmt=str(stmts[idx].cond),
+                args=(("value", always), ("contingent", "inits")),
             )
         )
     return out
@@ -253,62 +267,6 @@ def _vectorization_hazards(kernel: LoopKernel, am: AnalysisManager) -> list[Rema
 
 def _sub(acc) -> str:
     return "][".join(str(ix) for ix in acc.subscript)
-
-
-# ---------------------------------------------------------------------------
-# Constant folding (local, to keep the framework free of executor deps)
-# ---------------------------------------------------------------------------
-
-_FOLD_BIN = {
-    BinOpKind.ADD: lambda a, b: a + b,
-    BinOpKind.SUB: lambda a, b: a - b,
-    BinOpKind.MUL: lambda a, b: a * b,
-    BinOpKind.DIV: lambda a, b: a / b if b else None,
-    BinOpKind.MIN: min,
-    BinOpKind.MAX: max,
-}
-
-_FOLD_CMP = {
-    CmpKind.LT: lambda a, b: a < b,
-    CmpKind.LE: lambda a, b: a <= b,
-    CmpKind.GT: lambda a, b: a > b,
-    CmpKind.GE: lambda a, b: a >= b,
-    CmpKind.EQ: lambda a, b: a == b,
-    CmpKind.NE: lambda a, b: a != b,
-}
-
-
-def _fold_const(expr: Expr):
-    """The Python value of a constant expression, else None."""
-    if isinstance(expr, Const):
-        return expr.value
-    if isinstance(expr, Compare):
-        a, b = _fold_const(expr.lhs), _fold_const(expr.rhs)
-        if a is None or b is None:
-            return None
-        return _FOLD_CMP[expr.op](a, b)
-    if isinstance(expr, BinOp) and expr.op in _FOLD_BIN:
-        a, b = _fold_const(expr.lhs), _fold_const(expr.rhs)
-        if a is None or b is None:
-            return None
-        return _FOLD_BIN[expr.op](a, b)
-    if isinstance(expr, UnOp):
-        x = _fold_const(expr.operand)
-        if x is None:
-            return None
-        if expr.op is UnOpKind.NEG:
-            return -x
-        if expr.op is UnOpKind.ABS:
-            return abs(x)
-        if expr.op is UnOpKind.NOT:
-            return not x
-        return None
-    if isinstance(expr, Select):
-        c = _fold_const(expr.cond)
-        if c is None:
-            return None
-        return _fold_const(expr.if_true if c else expr.if_false)
-    return None
 
 
 __all__ = ["LintPass", "lint_kernel", "PASS"]

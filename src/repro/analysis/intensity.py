@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from ..codegen.minstr import MStream
 from ..targets.base import Target
-from ..targets.classes import IClass, MEMORY_CLASSES
+from ..targets.classes import IClass
 
 #: Instruction classes counted as "compute" for intensity purposes.
 COMPUTE_CLASSES = frozenset(

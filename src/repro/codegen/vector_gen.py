@@ -27,7 +27,6 @@ from typing import Optional
 from ..analysis.access import linearize
 from ..analysis.reduction import ScalarClass
 from ..ir.expr import Affine, Expr, Indirect, Load, UnOp, UnOpKind
-from ..ir.kernel import LoopKernel
 from ..ir.stmt import ArrayStore, IfBlock, ScalarAssign, Stmt
 from ..targets.base import Target
 from ..targets.classes import IClass

@@ -65,6 +65,7 @@ __all__ = [
     "LinearCostModel",
     "SpeedupModel",
     "count_features",
+    "vector_count_features",
     "RatedSpeedupModel",
     "EXTENDED_SUFFIX",
     "ExtendedSpeedupModel",

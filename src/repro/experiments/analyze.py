@@ -3,9 +3,14 @@
 Static analysis without measurement: every requested kernel is
 verified, linted, and put through the vectorization legality check,
 and the resulting LLVM-style remarks are printed (``-Rpass`` /
-``-Rpass-missed`` equivalents).  ``--json`` additionally writes the
-machine-readable report; ``--strict`` exits non-zero when any warning
-or error survives, which is how CI gates the suite.
+``-Rpass-missed`` equivalents).  ``--ranges`` adds the value-range
+layer — per-access bounds verdicts, constant-guard and shift-count
+proofs, and the ``prove_safe`` classification — to the output and the
+JSON report; ``--crosscheck`` replays every static range claim against
+concrete execution and turns contradictions into errors.  ``--json``
+additionally writes the machine-readable report; ``--strict`` exits
+non-zero when any warning or error survives, which is how CI gates the
+suite.
 """
 
 from __future__ import annotations
@@ -18,6 +23,13 @@ from typing import Optional
 from ..analysis.framework.diagnostics import Diagnostics, Remark, Severity
 from ..analysis.framework.lint import lint_kernel
 from ..analysis.framework.passmanager import default_manager
+from ..analysis.framework.ranges import (
+    PASS_BOUNDS,
+    BoundsCheckPass,
+    GuardRangePass,
+    crosscheck_kernel,
+    prove_safe,
+)
 from ..ir.verify import VerificationError, verify_kernel
 from ..targets.registry import get_target
 from ..tsvc.suite import get_kernel, kernel_names
@@ -29,6 +41,9 @@ def analyze_kernel(
     name: str,
     target_name: str = "neon",
     vf: Optional[int] = None,
+    *,
+    ranges: bool = False,
+    crosscheck: bool = False,
 ) -> dict:
     """Analyze one suite kernel; returns the JSON-shaped report entry."""
     kernel = get_kernel(name)
@@ -50,6 +65,20 @@ def analyze_kernel(
 
     diags.extend(lint_kernel(kernel, default_manager()))
 
+    ranges_info = None
+    if ranges:
+        ranges_info = _ranges_entry(kernel, name, diags)
+    if crosscheck:
+        for msg in crosscheck_kernel(kernel, manager=default_manager()):
+            diags.emit(
+                Remark(
+                    severity=Severity.ERROR,
+                    pass_name="ranges-crosscheck",
+                    kernel=name,
+                    message=f"static/dynamic contradiction: {msg}",
+                )
+            )
+
     chosen_vf = vf if vf is not None else natural_vf(kernel, target)
     legality = check_legality(kernel, chosen_vf)
     if legality.ok:
@@ -60,10 +89,41 @@ def analyze_kernel(
             f"{_fmt_vf(legality.max_safe_vf)})",
             args=(("vf", str(chosen_vf)),),
         )
-        return _entry(name, True, chosen_vf, None, diags)
+        return _entry(name, True, chosen_vf, None, diags, ranges_info)
 
     diags.extend(legality.remarks)
-    return _entry(name, False, chosen_vf, legality.reason, diags)
+    return _entry(name, False, chosen_vf, legality.reason, diags, ranges_info)
+
+
+def _ranges_entry(kernel, name: str, diags: Diagnostics) -> dict:
+    """Run the range-analysis layer; returns its JSON block.
+
+    Consumes the pass results' own ``remarks`` tuples (not the shared
+    manager diagnostics, which accumulate across kernels) so each entry
+    only carries its own proofs.
+    """
+    am = default_manager()
+    bounds = am.get(BoundsCheckPass, kernel)
+    guards = am.get(GuardRangePass, kernel)
+    safety = prove_safe(kernel, am)
+    diags.extend(bounds.remarks)
+    diags.extend(guards.remarks)
+    if safety.classification == "proven-unsafe":
+        diags.emit(
+            Remark(
+                severity=Severity.WARNING,
+                pass_name=PASS_BOUNDS,
+                kernel=name,
+                message=(
+                    "kernel classified proven-unsafe: " + safety.reasons[0]
+                ),
+            )
+        )
+    return {
+        "safety": safety.to_dict(),
+        "bounds": bounds.to_dict(),
+        "guards": guards.to_dict(),
+    }
 
 
 def _fmt_vf(vf: float) -> str:
@@ -76,17 +136,29 @@ def _entry(
     vf: Optional[int],
     reason: Optional[str],
     diags: Diagnostics,
+    ranges_info: Optional[dict] = None,
 ) -> dict:
-    return {
+    remarks = []
+    for r in diags.remarks():
+        rd = r.to_dict()
+        # Framework-level diagnostics may omit the kernel name (a pass
+        # emitting about the manager itself); stamp it so every row in
+        # the JSON report is attributable.
+        rd["kernel"] = rd.get("kernel") or name
+        remarks.append(rd)
+    entry = {
         "kernel": name,
         "vectorized": vectorized,
         "vf": vf,
         "reason": reason,
-        "remarks": [r.to_dict() for r in diags.remarks()],
+        "remarks": remarks,
         "max_severity": (
             diags.max_severity().value if diags.remarks() else None
         ),
     }
+    if ranges_info is not None:
+        entry["ranges"] = ranges_info
+    return entry
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -107,6 +179,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument(
         "--json", metavar="PATH", default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--ranges",
+        action="store_true",
+        help="include value-range analysis: bounds/guard proofs, "
+        "prove_safe classification, and the per-kernel range report",
+    )
+    parser.add_argument(
+        "--crosscheck",
+        action="store_true",
+        help="replay static range claims against concrete execution; "
+        "contradictions become errors (and fail --strict)",
     )
     parser.add_argument(
         "--strict",
@@ -131,7 +215,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"unknown kernels: {', '.join(unknown)}", file=sys.stderr)
         return 2
 
-    entries = [analyze_kernel(n, args.target, args.vf) for n in names]
+    entries = [
+        analyze_kernel(
+            n,
+            args.target,
+            args.vf,
+            ranges=args.ranges,
+            crosscheck=args.crosscheck,
+        )
+        for n in names
+    ]
 
     n_warn = n_err = 0
     for entry in entries:
@@ -150,6 +243,36 @@ def main(argv: Optional[list[str]] = None) -> int:
         f"[analyze] {len(entries)} kernels: {n_vec} vectorized, "
         f"{n_not} not vectorized; {n_warn} warnings, {n_err} errors"
     )
+    ranges_summary = None
+    if args.ranges:
+        ranged = [e["ranges"] for e in entries if e.get("ranges")]
+        ranges_summary = {
+            "proven_safe": sum(
+                1
+                for r in ranged
+                if r["safety"]["classification"] == "proven-safe"
+            ),
+            "proven_unsafe": sum(
+                1
+                for r in ranged
+                if r["safety"]["classification"] == "proven-unsafe"
+            ),
+            "unknown": sum(
+                1 for r in ranged if r["safety"]["classification"] == "unknown"
+            ),
+            "gathers_total": sum(r["bounds"]["gathers_total"] for r in ranged),
+            "gathers_proven": sum(
+                r["bounds"]["gathers_proven"] for r in ranged
+            ),
+        }
+        print(
+            "[analyze] ranges: "
+            f"{ranges_summary['proven_safe']} proven-safe, "
+            f"{ranges_summary['proven_unsafe']} proven-unsafe, "
+            f"{ranges_summary['unknown']} unknown; "
+            f"{ranges_summary['gathers_proven']}/"
+            f"{ranges_summary['gathers_total']} gather/scatter proven"
+        )
 
     if args.json:
         report = {
@@ -164,6 +287,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                 "errors": n_err,
             },
         }
+        if ranges_summary is not None:
+            report["summary"]["ranges"] = ranges_summary
         with open(args.json, "w") as fh:
             json.dump(report, fh, indent=2)
         print(f"[analyze] JSON report written to {args.json}")

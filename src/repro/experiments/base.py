@@ -20,7 +20,7 @@ from typing import Callable, Iterator, Optional, Sequence
 
 import numpy as np
 
-from ..costmodel.base import CostModel, Sample, predict_all
+from ..costmodel.base import Sample, predict_all
 from ..costmodel.linear import LinearCostModel
 from ..costmodel.llvm_like import LLVMLikeCostModel
 from ..costmodel.matrix import samples_fingerprint

@@ -4,9 +4,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from ..costmodel.base import predict_all
 from ..costmodel.featurize import describe
 from ..costmodel.llvm_like import LLVMLikeCostModel
 from ..validation.decisions import (

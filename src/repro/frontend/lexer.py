@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator
 
 KEYWORDS = frozenset({"kernel", "for", "if", "else", "f32", "f64", "i32", "i64"})
 

@@ -29,10 +29,9 @@ Example::
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional
 
 from ..ir.builder import (
-    EH,
     IndexHandle,
     KernelBuilder,
     ScalarHandle,
@@ -46,7 +45,7 @@ from ..ir.builder import (
 from ..ir.kernel import LoopKernel
 from ..ir.types import DType
 from ..ir.verify import verify_kernel
-from .lexer import LexError, Token, TokenStream, tokenize
+from .lexer import LexError, TokenStream, tokenize
 
 
 class ParseError(Exception):

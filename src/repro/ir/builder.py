@@ -196,12 +196,12 @@ class IndexHandle:
         return other - self.as_value()
 
     def __neg__(self):
-        return self._clone({l: -c for l, c in self.coeffs.items()}, -self.offset)
+        return self._clone({lvl: -c for lvl, c in self.coeffs.items()}, -self.offset)
 
     def __mul__(self, other):
         if isinstance(other, int):
             return self._clone(
-                {l: c * other for l, c in self.coeffs.items()}, self.offset * other
+                {lvl: c * other for lvl, c in self.coeffs.items()}, self.offset * other
             )
         return self.as_value() * other
 
@@ -238,7 +238,7 @@ class IndexHandle:
 
     def as_value(self) -> EH:
         """This index used as an integer data value."""
-        nonzero = {l: c for l, c in self.coeffs.items() if c != 0}
+        nonzero = {lvl: c for lvl, c in self.coeffs.items() if c != 0}
         if len(nonzero) == 1:
             (lvl, c), = nonzero.items()
             e: Expr = IterValue(lvl)

@@ -93,8 +93,8 @@ class Affine:
     def __str__(self) -> str:
         names = "ijk"
         parts = [
-            (f"{c}*{names[l]}" if c != 1 else names[l])
-            for l, c in enumerate(self.coeffs)
+            (f"{c}*{names[lvl]}" if c != 1 else names[lvl])
+            for lvl, c in enumerate(self.coeffs)
             if c != 0
         ]
         if self.offset or not parts:

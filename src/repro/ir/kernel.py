@@ -9,10 +9,10 @@ always targets the innermost loop, matching the paper's LLV setup
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterator
 
-from .expr import Expr, Load
+from .expr import Load
 from .stmt import ArrayStore, Stmt, all_loads, all_stores, walk_stmts
 from .types import DType
 

@@ -346,14 +346,22 @@ _PREPASS_SEEN: dict[int, object] = {}
 
 
 def static_prepass(kernels) -> None:
-    """Verify + lint every kernel before any measurement is dispatched.
+    """Verify + lint + range-check every kernel before measurement.
 
     Structural problems and lint *errors* are fatal — a malformed
-    kernel must never reach the measurement cache.  Results are
-    memoized (per kernel object, with the framework's analysis results
-    shared) so repeated sweeps over the cached suite stay cheap.
+    kernel must never reach the measurement cache.  When range proofs
+    are live (``REPRO_RANGES`` != 0) a kernel the abstract interpreter
+    classifies ``proven-unsafe`` — an unguarded access whose exact
+    static index range leaves the wrap-legal window, so a full run
+    must fault — is rejected here too, before any executor tier gets
+    to segfault on it.  Results are memoized (per kernel object, with
+    the framework's analysis results shared) so repeated sweeps over
+    the cached suite stay cheap.
     """
+    from ..analysis.framework.ranges import prove_safe, ranges_enabled
+
     am = default_manager()
+    check_ranges = ranges_enabled()
     for kern in kernels:
         if _PREPASS_SEEN.get(id(kern)) is kern:
             continue
@@ -365,6 +373,14 @@ def static_prepass(kernels) -> None:
             raise VerificationError(
                 "; ".join(r.message for r in errors), kern.name
             )
+        if check_ranges:
+            safety = prove_safe(kern, am)
+            if safety.classification == "proven-unsafe":
+                raise VerificationError(
+                    "range analysis proves an out-of-bounds access: "
+                    + "; ".join(safety.reasons),
+                    kern.name,
+                )
         _PREPASS_SEEN[id(kern)] = kern
 
 

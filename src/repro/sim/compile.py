@@ -162,6 +162,23 @@ def kernel_fingerprint(kernel: LoopKernel) -> str:
     return digest
 
 
+def _cache_fp(kernel: LoopKernel) -> str:
+    """Cache key for compiled artifacts: content digest plus the
+    range-analysis consumer switch.
+
+    Generated code differs when ``REPRO_RANGES=0`` (no guard folding,
+    no check elision), and parity tests flip the switch in-process —
+    so the switch state must be part of the key, or a toggle would be
+    served a stale function.  The native tier builds its artifact
+    fingerprints from this string, so on-disk ``.so`` caching keys
+    correctly too.
+    """
+    fp = kernel_fingerprint(kernel)
+    from ..analysis.framework.ranges import ranges_enabled
+
+    return fp if ranges_enabled() else fp + ":ranges-off"
+
+
 def compile_stats() -> CompileStats:
     return _STATS
 
@@ -280,50 +297,40 @@ def _affine_bounds_violation(kernel: LoopKernel) -> Optional[str]:
     of the array — which the affine dependence analysis (no-wrap
     arithmetic) cannot see, so its distances are only trustworthy when
     nothing wraps.
+
+    The range facts come from :class:`BoundsCheckPass` (one source of
+    truth with lint, ``analyze --ranges``, and the native tier); every
+    affine verdict — including the index-array read feeding each
+    gather/scatter — must be proven inside ``[0, extent)``.  Gather
+    *contents* are runtime data and stay unchecked here: a bad index
+    faults identically in scalar and vector mode.  This is tier
+    *eligibility*, not elision, so it is never gated on REPRO_RANGES.
     """
-    trips = [lp.trip for lp in kernel.loops]
-
-    def rng(af: Affine) -> tuple[int, int]:
-        lo = hi = af.offset
-        for lvl, c in enumerate(af.coeffs):
-            if lvl >= len(trips) or c == 0:
-                continue
-            span = c * (trips[lvl] - 1)
-            lo += min(0, span)
-            hi += max(0, span)
-        return lo, hi
-
-    def probe(array: str, sub) -> Optional[str]:
-        decl = kernel.arrays[array]
-        if len(sub) != len(decl.extents):
-            return f"partial subscript on {array!r}"
-        for d, ix in enumerate(sub):
-            if isinstance(ix, Indirect):
-                idecl = kernel.arrays[ix.array]
-                if len(idecl.extents) != 1:
-                    return f"indirect through multi-dim array {ix.array!r}"
-                lo, hi = rng(ix.index)
-                if lo < 0 or hi >= idecl.extents[0]:
-                    return f"indirect index into {ix.array!r} may leave bounds"
-                continue
-            lo, hi = rng(ix)
-            if lo < 0 or hi >= decl.extents[d]:
-                return (
-                    f"subscript {d} of {array!r} spans [{lo}, {hi}] "
-                    f"vs extent {decl.extents[d]}"
-                )
-        return None
+    from ..analysis.framework.passmanager import default_manager
+    from ..analysis.framework.ranges import BoundsCheckPass
 
     for stmt in kernel.stmts():
+        subs = [(load.array, load.subscript) for root in stmt.exprs()
+                for load in root.loads()]
         if isinstance(stmt, ArrayStore):
-            why = probe(stmt.array, stmt.subscript)
-            if why:
-                return why
-        for root in stmt.exprs():
-            for load in root.loads():
-                why = probe(load.array, load.subscript)
-                if why:
-                    return why
+            subs.append((stmt.array, stmt.subscript))
+        for array, sub in subs:
+            if len(sub) != len(kernel.arrays[array].extents):
+                return f"partial subscript on {array!r}"
+            for ix in sub:
+                if isinstance(ix, Indirect):
+                    if len(kernel.arrays[ix.array].extents) != 1:
+                        return f"indirect through multi-dim array {ix.array!r}"
+
+    bounds = default_manager().get(BoundsCheckPass, kernel)
+    for acc in bounds.accesses:
+        if acc.kind != "affine":
+            continue
+        if not acc.proven:
+            return (
+                f"subscript {acc.dim} of {acc.array!r} spans "
+                f"[{int(acc.lo)}, {int(acc.hi)}] vs extent {acc.extent}"
+            )
     return None
 
 
@@ -394,10 +401,13 @@ class _Emitter:
     lookups and no interpreter dispatch.
     """
 
-    def __init__(self, kernel: LoopKernel, vector: bool, plan=None):
+    def __init__(self, kernel: LoopKernel, vector: bool, plan=None, folds=None):
         self.kernel = kernel
         self.vector = vector
         self.plan = plan
+        #: GuardRangeInfo with the fold-safe constant guards, or None
+        #: when range-driven folding is disabled (REPRO_RANGES=0).
+        self.folds = folds
         self.lines: list[str] = []
         self.indent = 1
         self.pool: dict[str, object] = {"np": np}
@@ -530,10 +540,15 @@ class _Emitter:
         elif isinstance(stmt, IfBlock):
             k = self._nguard
             self._nguard += 1
+            fold = self.folds.fold_of(stmt) if self.folds is not None else None
             self.emit(f"if not _gseen[{k}]:")
             self.emit(f"    _gorder.append({k})")
             self.emit(f"_gseen[{k}] += 1")
-            self.emit(f"if {self.expr(stmt.cond)}:")
+            # A proven-constant, side-effect-free condition folds to a
+            # literal; all guard bookkeeping stays (parity with the
+            # interpreter's counters), only the evaluation is dropped.
+            cond = repr(fold) if fold is not None else self.expr(stmt.cond)
+            self.emit(f"if {cond}:")
             self.indent += 1
             self.emit(f"_gtaken[{k}] += 1")
             for s in stmt.then_body:
@@ -598,7 +613,13 @@ class _Emitter:
             self._nguard += 1
             c = f"_gc{k}"
             m = f"_gm{k}"
-            self.emit(f"{c} = _bc({self.expr(stmt.cond)})")
+            fold = self.folds.fold_of(stmt) if self.folds is not None else None
+            cond = (
+                self.const(fold, DType.BOOL)
+                if fold is not None
+                else self.expr(stmt.cond)
+            )
+            self.emit(f"{c} = _bc({cond})")
             if mask is None:
                 self.emit(f"_gseen[{k}] += _n")
                 self.emit(f"if _gfirst[{k}] is None:")
@@ -629,8 +650,23 @@ def _guard_count(kernel: LoopKernel) -> int:
     return sum(1 for s in kernel.stmts() if isinstance(s, IfBlock))
 
 
+def _guard_folds(kernel: LoopKernel):
+    """Fold-safe constant-guard info, or None when ``REPRO_RANGES=0``.
+
+    Only the *pure* verdicts of :class:`GuardRangePass` land here —
+    true for any caller-supplied scalars, with side-effect-free
+    conditions — so folding can never change an observable result.
+    """
+    from ..analysis.framework.passmanager import default_manager
+    from ..analysis.framework.ranges import GuardRangePass, ranges_enabled
+
+    if not ranges_enabled():
+        return None
+    return default_manager().get(GuardRangePass, kernel)
+
+
 def _gen_scalar(kernel: LoopKernel) -> tuple[str, dict]:
-    em = _Emitter(kernel, vector=False)
+    em = _Emitter(kernel, vector=False, folds=_guard_folds(kernel))
     em.lines.append("def __kernel(_bufs, _env, _inner_trip, _outer_trip):")
     for name in kernel.arrays:
         em.emit(f"_b_{name} = _bufs[{name!r}]")
@@ -659,7 +695,7 @@ def _gen_scalar(kernel: LoopKernel) -> tuple[str, dict]:
 
 
 def _gen_vector(kernel: LoopKernel, plan: _VectorPlan) -> tuple[str, dict]:
-    em = _Emitter(kernel, vector=True, plan=plan)
+    em = _Emitter(kernel, vector=True, plan=plan, folds=_guard_folds(kernel))
     em.dt(DType.I32)  # _lanes32 below
     em.lines.append("def __kernel(_bufs, _env, _inner_trip, _outer_trip):")
     em.emit("_n = _inner_trip")
@@ -896,7 +932,7 @@ def get_compiled(kernel: LoopKernel, mode: str = "auto") -> CompiledKernel:
     fallback).  Forcing ``"vector"``/``"scalar"`` skips auto-resolution
     (used by tests); forcing an ineligible vector build raises.
     """
-    fp = kernel_fingerprint(kernel)
+    fp = _cache_fp(kernel)
     if mode == "auto":
         resolved = _AUTO.get(fp)
         if resolved == "native":

@@ -41,7 +41,7 @@ from ..ir.expr import (
     UnOp,
 )
 from ..ir.kernel import LoopKernel
-from ..ir.stmt import ArrayStore, IfBlock, ScalarAssign, Stmt
+from ..ir.stmt import ArrayStore, IfBlock, ScalarAssign
 from ..ir.types import DType
 from ..vectorize.plan import VectorizationPlan
 from . import ufuncs

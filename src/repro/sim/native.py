@@ -110,7 +110,9 @@ __all__ = [
 
 #: Bump when the emitted C or the ABI of the entry points changes:
 #: every cached artifact older than this schema is invalidated.
-NATIVE_SCHEMA = 1
+#: 2: range-analysis consumers (unguarded fast body behind a runtime
+#: contract scan, plain shifts, folded constant guards).
+NATIVE_SCHEMA = 2
 
 #: Inner iterations of the build-time interpreter-vs-native check.
 #: Longer than the PR-4 check (16): libm divergence (``expf``) needs a
@@ -294,6 +296,20 @@ _PRELUDE = """\
 
 #define REPRO_VF_MAX 256
 
+/* Bounds elision pays off twice: the fast body is a clean loop (no
+ * early-exit oob branch), so the auto-vectorizer can work on it, and
+ * the contract scan is a branchless compare-reduce that only pays for
+ * itself if it runs SIMD.  GCC 12 enables neither at -O2, so force
+ * -O3 on exactly those two functions.  The optimize attribute resets
+ * command-line codegen flags, so -fwrapv and -ffp-contract=off (the
+ * bit-identity contract of this tier) are restated explicitly. */
+#if defined(__GNUC__) && !defined(__clang__)
+#define REPRO_VECLOOP \
+    __attribute__((optimize("O3", "-fwrapv", "-ffp-contract=off")))
+#else
+#define REPRO_VECLOOP
+#endif
+
 static inline int64_t repro_wrap(int64_t i, int64_t ext) {
     return i < 0 ? i + ext : i;
 }
@@ -361,10 +377,29 @@ class _CEmitter:
     """
 
     def __init__(self, kernel: LoopKernel, vector: bool = False,
-                 lanes: frozenset = frozenset()):
+                 lanes: frozenset = frozenset(), bounds=None, guards=None,
+                 fast: bool = False):
         self.kernel = kernel
         self.vector = vector
         self.lanes = lanes
+        #: BoundsInfo / GuardRangeInfo from the range-analysis passes,
+        #: or None when ``REPRO_RANGES=0`` (no elision, no folding).
+        self.bounds = bounds
+        self.guards = guards
+        #: Fast-body mode: contract-proven gathers/scatters are emitted
+        #: raw (no ``repro_idx``).  Only sound behind the runtime
+        #: contract scan recorded in :attr:`contract_checks`.
+        self.fast = fast
+        #: (index_array, affine, index_ext, target_ext) tuples the
+        #: dispatcher's ``repro_contract_ok`` must verify.
+        self.contract_checks: list[tuple[str, Affine, int, int]] = []
+        self.elided_gathers = 0
+        #: One event per elided access for the profitability model:
+        #: (is_store, target_array, index_array, index_affine_repr).
+        self.elide_events: list[tuple[bool, str, str, str]] = []
+        self.elided_shifts = 0
+        self.folded_guards = 0
+        self._store_target = False
         self.depth = kernel.depth
         self.trips = [lp.trip for lp in kernel.loops]
         self.uses_oob = False
@@ -448,6 +483,22 @@ class _CEmitter:
             )
         icode = self.dim_index(ix.array, 0, ix.index)
         loaded = f"((int64_t)b_{ix.array}[{icode}])"
+        if (
+            self.fast
+            and self.bounds is not None
+            and self.bounds.indirect_proven(ix, array, d)
+        ):
+            # Contract-proven in [0, ext): raw index, no wrap, no oob
+            # bookkeeping.  The dispatcher only enters this body after
+            # repro_contract_ok verified the recorded slice at run time.
+            self.contract_checks.append(
+                (ix.array, ix.index, idecl.extents[0], ext)
+            )
+            self.elided_gathers += 1
+            self.elide_events.append(
+                (self._store_target, array, ix.array, str(ix.index))
+            )
+            return loaded
         self.uses_oob = True
         return f"repro_idx({loaded}, {ext}, oob)"
 
@@ -573,6 +624,20 @@ class _CEmitter:
             )
             a = self.cast(self.expr(e.lhs), e.lhs.dtype, wide)
             b = self.cast(self.expr(e.rhs), e.rhs.dtype, wide)
+            width = 64 if wide is DType.I64 else 32
+            if self.guards is not None and self.guards.shift_safe(e, width):
+                # Count proven in [0, width) — and for SHL a proven
+                # nonnegative operand — so the guarded wrapper is
+                # redundant and a plain C shift is well-defined with
+                # identical semantics.
+                self.elided_shifts += 1
+                wct = _CTYPE[wide]
+                uct = "uint64_t" if wide is DType.I64 else "uint32_t"
+                if e.op is BinOpKind.SHL:
+                    code = f"(({wct})(({uct}){a} << {b}))"
+                else:
+                    code = f"({a} >> {b})"
+                return self.cast(code, wide, dt)
             fn = "shl" if e.op is BinOpKind.SHL else "shr"
             code = f"repro_{fn}_{_SUFFIX[wide]}({a}, {b})"
             return self.cast(code, wide, dt)
@@ -620,9 +685,13 @@ class _CEmitter:
                     self.expr(stmt.value), stmt.value.dtype, decl.dtype
                 )
             )
-            idx, idx_oob = self._emit_tracked(
-                lambda: self.flat_index(stmt.array, stmt.subscript)
-            )
+            self._store_target = True
+            try:
+                idx, idx_oob = self._emit_tracked(
+                    lambda: self.flat_index(stmt.array, stmt.subscript)
+                )
+            finally:
+                self._store_target = False
             if not (val_oob or idx_oob):
                 self.emit(f"b_{stmt.array}[{idx}] = {val};")
                 return
@@ -651,7 +720,17 @@ class _CEmitter:
         elif isinstance(stmt, IfBlock):
             k = self._nguard
             self._nguard += 1
-            cond, cond_oob = self._emit_tracked(lambda: self.expr(stmt.cond))
+            fold = self.guards.fold_of(stmt) if self.guards is not None else None
+            if fold is None:
+                cond, cond_oob = self._emit_tracked(
+                    lambda: self.expr(stmt.cond)
+                )
+            else:
+                # Proven-constant, side-effect-free condition: fold to a
+                # literal (the dead arm compiles away); all guard
+                # bookkeeping stays for counter parity.
+                cond, cond_oob = ("1" if fold else "0"), False
+                self.folded_guards += 1
             self.emit(
                 f"if (!gseen[{k}]) {{ gorder[*gcount] = {k}; *gcount += 1; }}"
             )
@@ -677,14 +756,16 @@ class _CEmitter:
         else:
             raise NativeUnsupported(f"cannot emit {type(stmt).__name__}")
 
-    def gen_scalar(self) -> str:
+    def gen_scalar(self, name: str = "repro_scalar", static: bool = False) -> str:
         k = self.kernel
+        linkage = "static " if static else ""
+        pad = " " * len(f"{linkage}int64_t {name}(")
         self.lines = [
-            "int64_t repro_scalar(void **bufs, void **scalars,",
-            "                     int64_t inner_trip, int64_t outer_trip,",
-            "                     int64_t *gseen, int64_t *gtaken,",
-            "                     int64_t *gorder, int64_t *gcount,",
-            "                     int64_t *sqrt_fires, int64_t *oob) {",
+            f"{linkage}int64_t {name}(void **bufs, void **scalars,",
+            f"{pad}int64_t inner_trip, int64_t outer_trip,",
+            f"{pad}int64_t *gseen, int64_t *gtaken,",
+            f"{pad}int64_t *gorder, int64_t *gcount,",
+            f"{pad}int64_t *sqrt_fires, int64_t *oob) {{",
         ]
         for j, (name, decl) in enumerate(k.arrays.items()):
             ct = _CTYPE[decl.dtype]
@@ -831,18 +912,169 @@ def _lane_scalars(kernel: LoopKernel) -> set[str]:
     }
 
 
-def _emit_translation_unit(kernel: LoopKernel) -> tuple[str, list, str]:
-    """(C source, lane-scalar names, vector entry status).
+def _ranges_info(kernel: LoopKernel):
+    """(BoundsInfo, GuardRangeInfo) for codegen, or (None, None) when
+    the range-analysis consumers are disabled (``REPRO_RANGES=0``)."""
+    from ..analysis.framework.passmanager import default_manager
+    from ..analysis.framework.ranges import (
+        BoundsCheckPass,
+        GuardRangePass,
+        ranges_enabled,
+    )
+
+    if not ranges_enabled():
+        return None, None
+    am = default_manager()
+    return am.get(BoundsCheckPass, kernel), am.get(GuardRangePass, kernel)
+
+
+def _emit_contract_fn(kernel: LoopKernel, checks) -> str:
+    """``repro_contract_ok``: runtime validation of the data contract
+    every fast-body elision leans on.
+
+    For each elided gather/scatter, the index-array slice the loop nest
+    will actually read (its affine range over the *runtime* trips) is
+    scanned; any content outside ``[0, target_extent)`` — or a slice
+    leaving the index array itself — selects the guarded body instead.
+    The scan covers the stride-superset ``[lo, hi]``, which is
+    conservative: it can only send borderline inputs to the (always
+    correct) guarded body.
+    """
+    arr_pos = {name: j for j, name in enumerate(kernel.arrays)}
+    seen: set = set()
+    by_arr: dict[str, list] = {}
+    for arr, af, iext, text in checks:
+        key = (arr, str(af), text)
+        if key not in seen:
+            seen.add(key)
+            by_arr.setdefault(arr, []).append((af, iext, text))
+    lines = [
+        "REPRO_VECLOOP",
+        "static int repro_contract_ok(void **bufs, int64_t inner_trip,",
+        "                             int64_t outer_trip) {",
+        "    (void)bufs; (void)inner_trip; (void)outer_trip;",
+    ]
+    for name in sorted(by_arr):
+        ct = _CTYPE[kernel.arrays[name].dtype]
+        lines.append(
+            f"    const {ct} *b_{name} = "
+            f"(const {ct} *)bufs[{arr_pos[name]}];"
+        )
+    depth = kernel.depth
+    for arr in sorted(by_arr):
+        group = by_arr[arr]
+        # One scan per index array over the hull of the slices its
+        # elided accesses read, against the strictest target extent —
+        # both merges are conservative (can only reject more inputs).
+        text_min = min(text for _af, _ie, text in group)
+        uct = "uint64_t" if kernel.arrays[arr].dtype is DType.I64 else "uint32_t"
+        lines.append("    {")
+        lines.append("        int64_t s_lo = INT64_MAX, s_hi = INT64_MIN;")
+        for af, iext, _text in group:
+            lines.append("        {")
+            lines.append(f"            int64_t lo = {af.offset}, hi = {af.offset};")
+            for lvl, c in enumerate(af.coeffs):
+                if lvl >= depth or c == 0:
+                    continue
+                trip = "inner_trip" if (depth == 1 or lvl == 1) else "outer_trip"
+                lines.append(
+                    f"            {{ int64_t span = {c} * ({trip} - 1); "
+                    "if (span < 0) lo += span; else hi += span; }"
+                )
+            lines.append(f"            if (lo < 0 || hi >= {iext}) return 0;")
+            lines.append("            if (lo < s_lo) s_lo = lo;")
+            lines.append("            if (hi > s_hi) s_hi = hi;")
+            lines.append("        }")
+        # Branchless unsigned compare (negative wraps above any valid
+        # extent) accumulated with |= — no early exit, so -O2's loop
+        # vectorizer turns the scan into a SIMD compare-reduce.
+        lines.append(f"        {uct} bad = 0;")
+        lines.append("        for (int64_t _j = s_lo; _j <= s_hi; _j++)")
+        lines.append(
+            f"            bad |= (({uct})b_{arr}[_j] >= ({uct}){text_min});"
+        )
+        lines.append("        if (bad) return 0;")
+        lines.append("    }")
+    lines.append("    return 1;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_DISPATCH = """\
+int64_t repro_scalar(void **bufs, void **scalars,
+                     int64_t inner_trip, int64_t outer_trip,
+                     int64_t *gseen, int64_t *gtaken,
+                     int64_t *gorder, int64_t *gcount,
+                     int64_t *sqrt_fires, int64_t *oob) {
+    if (repro_contract_ok(bufs, inner_trip, outer_trip))
+        return repro_scalar_fast(bufs, scalars, inner_trip, outer_trip,
+                                 gseen, gtaken, gorder, gcount,
+                                 sqrt_fires, oob);
+    return repro_scalar_guarded(bufs, scalars, inner_trip, outer_trip,
+                                gseen, gtaken, gorder, gcount,
+                                sqrt_fires, oob);
+}"""
+
+
+def _emit_translation_unit(kernel: LoopKernel) -> tuple[str, list, str, dict]:
+    """(C source, lane-scalar names, vector entry status, elision info).
 
     The scalar entry is mandatory — a refusal there propagates and no
     artifact is built.  The vector entry is best-effort: its refusal is
     recorded as ``unsupported: why`` in the sidecar meta.
+
+    With range analysis enabled and at least one contract-proven
+    gather/scatter, the scalar entry becomes a dispatcher: a runtime
+    contract scan picks an unguarded fast body (raw indirect indices,
+    no oob plumbing) or the fully guarded body — bit-identical either
+    way, since the scan proves exactly what the elided checks would
+    have verified per element.
     """
-    scalar_src = _CEmitter(kernel, vector=False).gen_scalar()
+    bounds, guards = _ranges_info(kernel)
+    fast = _CEmitter(
+        kernel, vector=False, bounds=bounds, guards=guards, fast=True
+    )
+    fast_src = fast.gen_scalar(name="repro_scalar_fast", static=True)
+    # Profitability gate (cost model, not soundness): the dispatcher
+    # pays a per-call contract scan, which only amortizes when a *load*
+    # check is elided — a gathered load's bounds check sits on the
+    # critical path and blocks vectorization of the whole body, while a
+    # scatter store's check overlaps with the store latency and is
+    # effectively free.  A scatter is tolerated only as the store half
+    # of a read-modify-write of an elided load (same array, same index
+    # expression: the line is already resident); an independent scatter
+    # stream keeps the plain guarded body — measured on the suite,
+    # eliding those is a net loss.
+    loads = {ev[1:] for ev in fast.elide_events if not ev[0]}
+    stores = [ev[1:] for ev in fast.elide_events if ev[0]]
+    profitable = bool(loads) and all(s in loads for s in stores)
+    if profitable:
+        # The unguarded body has no early exits left; let it vectorize.
+        fast_src = "REPRO_VECLOOP\n" + fast_src
+        guarded_src = _CEmitter(
+            kernel, vector=False, bounds=bounds, guards=guards
+        ).gen_scalar(name="repro_scalar_guarded", static=True)
+        contract_src = _emit_contract_fn(kernel, fast.contract_checks)
+        scalar_src = "\n\n".join(
+            [guarded_src, fast_src, contract_src, _DISPATCH]
+        )
+        elided = {
+            "gathers": fast.elided_gathers,
+            "shifts": fast.elided_shifts,
+            "folded_guards": fast.folded_guards,
+        }
+    else:
+        plain = _CEmitter(kernel, vector=False, bounds=bounds, guards=guards)
+        scalar_src = plain.gen_scalar()
+        elided = {
+            "gathers": 0,
+            "shifts": plain.elided_shifts,
+            "folded_guards": plain.folded_guards,
+        }
     lanes = _lane_scalars(kernel)
     try:
         vector_src = _CEmitter(
-            kernel, vector=True, lanes=frozenset(lanes)
+            kernel, vector=True, lanes=frozenset(lanes), guards=guards
         ).gen_vector()
         vector_status = "candidate"
     except NativeUnsupported as exc:
@@ -852,7 +1084,7 @@ def _emit_translation_unit(kernel: LoopKernel) -> tuple[str, list, str]:
     source = header + _PRELUDE + "\n" + scalar_src
     if vector_src:
         source += "\n\n" + vector_src
-    return source + "\n", sorted(lanes), vector_status
+    return source + "\n", sorted(lanes), vector_status, elided
 
 
 # ---------------------------------------------------------------------------
@@ -962,7 +1194,9 @@ def _build_artifact(
         if meta is not None:
             return meta
         try:
-            source, lanes, vector_status = _emit_translation_unit(kernel)
+            source, lanes, vector_status, elided = _emit_translation_unit(
+                kernel
+            )
         except NativeUnsupported:
             raise
         except Exception as exc:
@@ -998,6 +1232,7 @@ def _build_artifact(
             "scalar_detail": detail,
             "vector": vector_status,
             "lanes": lanes,
+            "elided": elided,
         }
         # Meta is installed last: a .so without meta is treated as a
         # half-install and evicted, never trusted.
@@ -1071,6 +1306,15 @@ _I64P = ctypes.POINTER(ctypes.c_int64)
 _VOIDPP = ctypes.POINTER(ctypes.c_void_p)
 
 
+def _data_ptr(arr: np.ndarray) -> int:
+    # ~3x cheaper than arr.ctypes.data (which builds a helper object
+    # per access); read-only arrays fall back to the slow path.
+    try:
+        return ctypes.addressof(ctypes.c_char.from_buffer(arr))
+    except (TypeError, ValueError):
+        return arr.ctypes.data
+
+
 def _marshal_bufs(arr_decls, bufs):
     n = len(arr_decls)
     bufp = (ctypes.c_void_p * max(1, n))()
@@ -1082,7 +1326,7 @@ def _marshal_bufs(arr_decls, bufs):
             or not arr.flags["C_CONTIGUOUS"]
         ):
             raise CompileError(f"native marshal: buffer {name!r} unusable")
-        bufp[j] = arr.ctypes.data
+        bufp[j] = _data_ptr(arr)
     return bufp
 
 
@@ -1100,38 +1344,60 @@ def _make_scalar_runner(lib, kernel: LoopKernel):
     ng = sum(1 for s in kernel.stmts() if isinstance(s, IfBlock))
     name = kernel.name
 
+    # Scratch hoisted out of the per-call path: the ctypes pointer
+    # casts (``data_as``) dominate warm-call overhead, so allocate the
+    # bookkeeping arrays and scalar cells once per attached kernel.
+    # Sound because execution is never re-entrant and suite parallelism
+    # is process-based, so a closure is only ever driven by one thread.
+    m = max(1, ng)
+    gseen = np.zeros(m, np.int64)
+    gtaken = np.zeros(m, np.int64)
+    gorder = np.zeros(m, np.int64)
+    gcount = np.zeros(1, np.int64)
+    fires = np.zeros(1, np.int64)
+    oob = np.zeros(1, np.int64)
+    book = (gseen, gtaken, gorder, gcount, fires, oob)
+    book_ptrs = tuple(x.ctypes.data_as(_I64P) for x in book)
+    cells = [
+        (sname, np.empty(1, dtype=NP_DTYPE[decl.dtype]))
+        for sname, decl in sc_decls
+    ]
+    scp = (ctypes.c_void_p * max(1, len(sc_decls)))()
+    for j, (_sname, cell) in enumerate(cells):
+        scp[j] = cell.ctypes.data
+    # Buffer-pointer cache keyed on array *identity*: holding strong
+    # references means a default ``resize()`` (refcheck=True) on a
+    # cached buffer raises rather than silently moving its data.
+    cached_arrs: tuple = ()
+    cached_bufp = None
+
     def run(bufs, env, inner_trip, outer_trip):
-        bufp = _marshal_bufs(arr_decls, bufs)
-        cells = []
-        scp = (ctypes.c_void_p * max(1, len(sc_decls)))()
-        for j, (sname, decl) in enumerate(sc_decls):
-            cell = np.empty(1, dtype=NP_DTYPE[decl.dtype])
+        nonlocal cached_arrs, cached_bufp
+        arrs = tuple(bufs.get(an) for an, _d in arr_decls)
+        if (
+            cached_bufp is not None
+            and len(arrs) == len(cached_arrs)
+            and all(a is b for a, b in zip(arrs, cached_arrs))
+        ):
+            bufp = cached_bufp
+        else:
+            bufp = _marshal_bufs(arr_decls, bufs)
+            cached_arrs, cached_bufp = arrs, bufp
+        for sname, cell in cells:
             try:
                 cell[0] = env[sname]
             except (KeyError, TypeError, ValueError) as exc:
                 raise CompileError(
                     f"native marshal: scalar {sname!r} ({exc})"
                 ) from exc
-            cells.append((sname, cell))
-            scp[j] = cell.ctypes.data
-        m = max(1, ng)
-        gseen = np.zeros(m, np.int64)
-        gtaken = np.zeros(m, np.int64)
-        gorder = np.zeros(m, np.int64)
-        gcount = np.zeros(1, np.int64)
-        fires = np.zeros(1, np.int64)
-        oob = np.zeros(1, np.int64)
+        for x in book:
+            x.fill(0)
         iters = fn(
             bufp,
             scp,
             int(inner_trip),
             int(outer_trip),
-            gseen.ctypes.data_as(_I64P),
-            gtaken.ctypes.data_as(_I64P),
-            gorder.ctypes.data_as(_I64P),
-            gcount.ctypes.data_as(_I64P),
-            fires.ctypes.data_as(_I64P),
-            oob.ctypes.data_as(_I64P),
+            *book_ptrs,
         )
         if fires[0]:
             ufuncs.add_sqrt_guard_fires(int(fires[0]))
@@ -1337,6 +1603,14 @@ def native_compiled(
         return None
     verdict = mod.meta.get("scalar")
     if verdict == "exact" or (verdict == "tolerance" and tolerance_enabled()):
+        elided = mod.meta.get("elided") or {}
+        if elided.get("gathers"):
+            _diag(
+                kernel,
+                f"-Rpass=bounds: native fast body elides "
+                f"{elided['gathers']} gather/scatter bounds check(s); "
+                "a runtime contract scan selects it over the guarded body",
+            )
         return CompiledKernel(
             fp, "native", mod.scalar_run, source="", reason=f"native ({verdict})"
         )
@@ -1381,7 +1655,7 @@ def try_run_vector_blocks(plan, bufs, lane_env, vf, vec_trip) -> bool:
     if tc is None:
         _note_degraded(kernel)
         return False
-    fp = _compile.kernel_fingerprint(kernel)
+    fp = _compile._cache_fp(kernel)
     mod = _attach(kernel, fp, tc, _native_fingerprint(fp, tc))
     if isinstance(mod, _Failure) or mod.vector_run is None:
         return False

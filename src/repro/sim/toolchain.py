@@ -34,6 +34,7 @@ from typing import Optional
 
 __all__ = [
     "CFLAGS",
+    "EXTRA_CFLAGS",
     "LDFLAGS",
     "Toolchain",
     "ToolchainError",
@@ -46,6 +47,13 @@ __all__ = [
 
 #: Compile flags every native artifact is built with (see module doc).
 CFLAGS = ("-O2", "-fPIC", "-shared", "-fwrapv", "-ffp-contract=off")
+#: Probed extras, dropped when the compiler rejects them.  Artifacts
+#: are compiled for — and cached on — the host they run on, so
+#: targeting the host ISA is safe and lets the functions the codegen
+#: marks hot (contract scans, unguarded fast bodies) actually
+#: vectorize.  Neither flag changes FP semantics: ``-ffp-contract=off``
+#: still forbids FMA contraction.
+EXTRA_CFLAGS = ("-march=native",)
 #: Trailing link flags (libm for sqrt/exp).
 LDFLAGS = ("-lm",)
 
@@ -149,24 +157,38 @@ def find_toolchain() -> Optional[Toolchain]:
 
 
 def _probe(compiler: str) -> Toolchain:
-    """Compile, load, and call a trivial shared object with ``compiler``."""
+    """Compile, load, and call a trivial shared object with ``compiler``.
+
+    The first flag set tried is ``CFLAGS + EXTRA_CFLAGS``; a compiler
+    that rejects an extra (cross toolchains, odd hosts) falls back to
+    the plain baseline before discovery is declared failed.
+    """
     version = _version_of(compiler)
     with tempfile.TemporaryDirectory(prefix="repro-toolchain-") as tmp:
         src = os.path.join(tmp, "probe.c")
-        out = os.path.join(tmp, "probe.so")
         with open(src, "w") as fh:
             fh.write(_PROBE_SOURCE)
-        tc = Toolchain(path=compiler, version=version)
-        compile_shared(tc, src, out)
-        try:
-            lib = ctypes.CDLL(out)
-            lib.repro_probe.restype = ctypes.c_int64
-            lib.repro_probe.argtypes = [ctypes.c_int64]
-            if lib.repro_probe(21) != 42:
-                raise ToolchainError("probe library returned wrong result")
-        except OSError as exc:
-            raise ToolchainError(f"probe library failed to load: {exc}") from exc
-    return tc
+        last_exc: Optional[ToolchainError] = None
+        for n, flags in enumerate((CFLAGS + EXTRA_CFLAGS, CFLAGS)):
+            out = os.path.join(tmp, f"probe{n}.so")
+            tc = Toolchain(path=compiler, version=version, flags=flags)
+            try:
+                compile_shared(tc, src, out)
+                lib = ctypes.CDLL(out)
+                lib.repro_probe.restype = ctypes.c_int64
+                lib.repro_probe.argtypes = [ctypes.c_int64]
+                if lib.repro_probe(21) != 42:
+                    raise ToolchainError("probe library returned wrong result")
+            except ToolchainError as exc:
+                last_exc = exc
+                continue
+            except OSError as exc:
+                last_exc = ToolchainError(
+                    f"probe library failed to load: {exc}"
+                )
+                continue
+            return tc
+    raise last_exc if last_exc is not None else ToolchainError("probe failed")
 
 
 def _version_of(compiler: str) -> str:

@@ -73,7 +73,7 @@ def s316(k: KernelBuilder, d: Dims) -> None:
 @kernel("s317", "reductions", notes="geometric series: a product reduction with no arrays")
 def s317(k: KernelBuilder, d: Dims) -> None:
     q = k.scalar("q", init=1.0)
-    i = k.loop(d.n // 2)
+    k.loop(d.n // 2)
     q.set(q * 0.99)
 
 

@@ -19,7 +19,7 @@ verdict except where a note says otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator
 
 from ..ir.builder import KernelBuilder
 from ..ir.kernel import LoopKernel

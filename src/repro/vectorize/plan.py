@@ -8,8 +8,7 @@ SLP — which top-level statements were packed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..analysis.dependence import DependenceInfo
 from ..analysis.reduction import ScalarClass, ScalarInfo

@@ -24,11 +24,11 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from ..analysis.access import AccessPattern, linearize
+from ..analysis.access import linearize
 from ..analysis.reduction import ScalarClass
 from ..ir.expr import Expr, Indirect, Load, ScalarRef
 from ..ir.kernel import LoopKernel
-from ..ir.stmt import ArrayStore, IfBlock, ScalarAssign, Stmt
+from ..ir.stmt import ArrayStore, IfBlock, ScalarAssign
 from ..targets.base import Target
 from .legality import check_legality, natural_vf
 from .plan import VectorizationFailure, VectorizationPlan

@@ -56,7 +56,9 @@ def _rewrite_expr(
     u: int,
     rename: Callable[[str], str],
 ) -> Expr:
-    rec = lambda e: _rewrite_expr(e, inner, factor, u, rename)
+    def rec(e: Expr) -> Expr:
+        return _rewrite_expr(e, inner, factor, u, rename)
+
     if isinstance(expr, Const):
         return expr
     if isinstance(expr, ScalarRef):

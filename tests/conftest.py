@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.ir import KernelBuilder
 from repro.targets import ARMV8_NEON, GENERIC_IR, X86_AVX2
 from repro.tsvc import Dims
 

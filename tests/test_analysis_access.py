@@ -9,7 +9,7 @@ from repro.analysis.access import (
     dim_strides,
     linearize,
 )
-from repro.ir import DType, KernelBuilder
+from repro.ir import DType
 from repro.ir.kernel import ArrayDecl
 
 from tests.helpers import build
@@ -64,7 +64,7 @@ class TestLinearize:
             a[i] = b[ip[i]]
 
         kern = build("t", body)
-        ld = [l for l in kern.loads() if l.array == "b"][0]
+        ld = [x for x in kern.loads() if x.array == "b"][0]
         assert linearize(kern.arrays["b"], ld.subscript, 1) is None
 
 

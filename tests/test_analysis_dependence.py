@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.analysis.dependence import DepKind, DepStatus, analyze_dependences
 from repro.ir import DType
 

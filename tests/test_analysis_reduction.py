@@ -7,7 +7,7 @@ from repro.analysis.reduction import (
     recurrences_of,
     reductions_of,
 )
-from repro.ir import BinOpKind, DType, select
+from repro.ir import BinOpKind, select
 
 from tests.helpers import build
 

@@ -1,7 +1,5 @@
 """Vector code generation tests: target-specific lowering decisions."""
 
-import pytest
-
 from repro.codegen import lower_vector
 from repro.ir import DType
 from repro.targets import ARMV8_NEON, GENERIC_IR, X86_AVX2

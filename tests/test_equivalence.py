@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.sim.executor import initial_scalars, make_buffers, run_scalar, run_vector
+from repro.sim.executor import make_buffers, run_scalar, run_vector
 from repro.targets import ARMV8_NEON, X86_AVX2
 from repro.tsvc import kernel_names, get_entry
 from repro.vectorize import slp_vectorize, vectorize_loop

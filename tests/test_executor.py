@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ir import DType, KernelBuilder, fabs, fsqrt, select
+from repro.ir import DType, fabs, fsqrt, select
 from repro.sim.executor import (
     initial_scalars,
     make_buffers,
@@ -13,7 +13,7 @@ from repro.sim.executor import (
 from repro.targets import ARMV8_NEON
 from repro.vectorize import vectorize_loop
 
-from tests.helpers import build, copy_buffers
+from tests.helpers import build
 
 
 class TestMakeBuffers:

@@ -1,6 +1,5 @@
 """2-D executor edge cases: tail ordering, cross-row dependences."""
 
-import numpy as np
 import pytest
 
 from repro.sim.executor import make_buffers, run_scalar, run_vector

@@ -151,7 +151,7 @@ class TestReporting:
         text = ascii_table(rows, title="T")
         lines = text.splitlines()
         assert lines[0] == "T"
-        assert len({len(l) for l in lines[1:]}) <= 2  # consistent width
+        assert len({len(ln) for ln in lines[1:]}) <= 2  # consistent width
 
     def test_ascii_table_empty(self):
         assert "(no rows)" in ascii_table([])

@@ -9,10 +9,8 @@ import numpy as np
 import pytest
 
 from repro.codegen import lower_scalar, lower_vector
-from repro.codegen.lowering import BaseLowerer
 from repro.costmodel import class_count, feature_vector
 from repro.experiments.drivers import run_e1
-from repro.ir import DType
 from repro.sim import measure_kernel
 from repro.targets import ARMV8_NEON, GENERIC_IR, X86_AVX2
 from repro.targets.classes import IClass

@@ -99,7 +99,7 @@ class TestParserBasics:
             }
             """
         )
-        (ld,) = [l for l in kern.loads() if l.array == "b"]
+        (ld,) = [x for x in kern.loads() if x.array == "b"]
         assert ld.subscript == (Indirect("ip", Affine((1,), 0)),)
 
     def test_if_else(self):
@@ -220,7 +220,7 @@ class TestEndToEnd:
         text = kernel_to_source(kern)
         # The printer emits the same C-like dialect, minus the kernel
         # header; rebuild it and re-parse.
-        body_lines = [l for l in text.splitlines() if not l.startswith("//")]
+        body_lines = [ln for ln in text.splitlines() if not ln.startswith("//")]
         src = "kernel roundtrip {\n" + "\n".join(body_lines) + "\n}"
         kern2 = parse_kernel(src)
         assert [str(s) for s in kern2.body] == [str(s) for s in kern.body]

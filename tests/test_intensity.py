@@ -1,6 +1,5 @@
 """Arithmetic-intensity analysis and extended-model tests."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

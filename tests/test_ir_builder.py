@@ -8,13 +8,11 @@ from repro.ir import (
     BinOp,
     BinOpKind,
     BuildError,
-    Compare,
     Const,
     DType,
     IfBlock,
     Indirect,
     KernelBuilder,
-    Load,
     ScalarAssign,
     Select,
     fabs,
@@ -91,7 +89,7 @@ def test_indirect_subscript():
     ip = k.array("ip", dtype=DType.I32)
     i = k.loop(10)
     a[i] = b[ip[i + 1]]
-    (ld,) = [l for l in k.build().loads() if l.array == "b"]
+    (ld,) = [x for x in k.build().loads() if x.array == "b"]
     assert ld.subscript == (Indirect("ip", Affine((1,), 1)),)
 
 

@@ -105,7 +105,7 @@ class TestTraversal:
         ld1 = Load("a", (Affine((1,), 0),), DType.F32)
         ld2 = Load("b", (Affine((1,), 1),), DType.F32)
         e = BinOp(BinOpKind.ADD, ld1, ld2)
-        assert {l.array for l in e.loads()} == {"a", "b"}
+        assert {x.array for x in e.loads()} == {"a", "b"}
 
     def test_structural_equality_for_cse(self):
         a1 = Load("a", (Affine((1,), 0),), DType.F32)

@@ -104,7 +104,7 @@ class TestPrinter:
                     a[i] = 1.0
 
         text = kernel_to_source(build("t", body))
-        lines = [l for l in text.splitlines() if "a[i]" in l]
+        lines = [ln for ln in text.splitlines() if "a[i]" in ln]
         assert lines[0].startswith("      ")  # three levels deep
 
     def test_indirect_rendering(self):

@@ -2,13 +2,10 @@
 
 import math
 
-import pytest
-
 from repro.ir import DType
 from repro.targets import ARMV8_NEON, X86_AVX2
 from repro.vectorize import (
     VectorizationFailure,
-    VectorizationPlan,
     check_legality,
     is_plan,
     natural_vf,

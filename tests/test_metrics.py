@@ -6,10 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.costmodel import Sample
 from repro.validation import (
-    BENEFIT_THRESHOLD,
-    Confusion,
     always_cycles,
     confusion,
     evaluate,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.codegen.lowering import CACHE_LINE, access_traffic
-from repro.codegen.minstr import MInstr, MStream, StreamBuilder
+from repro.codegen.minstr import MInstr, StreamBuilder
 from repro.ir.types import DType
 from repro.targets.classes import IClass
 

@@ -15,8 +15,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ir import DType, KernelBuilder
-from repro.ir.builder import BuildError
+from repro.ir import KernelBuilder
 from repro.sim.executor import make_buffers, run_scalar, run_vector
 from repro.targets import ARMV8_NEON, X86_AVX2
 from repro.vectorize import vectorize_loop

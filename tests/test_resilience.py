@@ -8,7 +8,6 @@ so each scenario either converges or it doesn't; there is no flake.
 """
 
 import os
-import pickle
 
 import numpy as np
 import pytest

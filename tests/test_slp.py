@@ -1,7 +1,5 @@
 """SLP vectorizer tests: pack decisions and partial vectorization."""
 
-import pytest
-
 from repro.codegen.slp_gen import lower_slp
 from repro.ir import DType
 from repro.targets import ARMV8_NEON, X86_AVX2

@@ -1,9 +1,6 @@
 """SLP lowering internals: guard-prob expansion, hybrid streams."""
 
-import pytest
-
 from repro.codegen.slp_gen import _count_guards, _expanded_guard_probs, lower_slp
-from repro.ir import DType
 from repro.sim.timing import analyze_stream
 from repro.targets import X86_AVX2
 from repro.targets.classes import IClass

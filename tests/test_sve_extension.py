@@ -1,14 +1,12 @@
 """Extension-target (ARMv9 SVE) tests: capabilities, lowering, study."""
 
 import numpy as np
-import pytest
 
 from repro.codegen import lower_vector
 from repro.costmodel import RatedSpeedupModel, predict_all
 from repro.experiments import DatasetSpec, build_dataset
 from repro.fitting import NonNegativeLeastSquares
 from repro.ir import DType
-from repro.sim import measure_kernel
 from repro.targets import ARMV9_SVE, get_target
 from repro.targets.classes import IClass
 from repro.tsvc import get_kernel

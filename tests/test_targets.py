@@ -13,7 +13,7 @@ from repro.targets import (
     get_target,
     register_target,
 )
-from repro.targets.base import CacheHierarchy, CacheLevel, InstrTiming
+from repro.targets.base import InstrTiming
 from repro.targets.classes import FEATURE_ORDER, IClass, feature_index
 
 

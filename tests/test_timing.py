@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.codegen.minstr import MStream, StreamBuilder
+from repro.codegen.minstr import StreamBuilder
 from repro.ir.types import DType
 from repro.sim.timing import (
     analyze_stream,
     memory_bound,
-    overhead_cycles,
     recurrence_bound,
     resource_bound,
 )
@@ -111,9 +110,10 @@ class TestMemoryBound:
         assert memory_bound(s, ARMV8_NEON) == pytest.approx(16 / 32)
 
     def test_larger_working_set_slower(self):
-        mk = lambda ws: stream_with(
-            [_e(IClass.LOAD, traffic=32, mem_array="", mem_stride=None)], ws=ws
-        )
+        def mk(ws):
+            return stream_with(
+                [_e(IClass.LOAD, traffic=32, mem_array="", mem_stride=None)], ws=ws
+            )
         l1 = memory_bound(mk(1024), ARMV8_NEON)
         l2 = memory_bound(mk(512 * 1024), ARMV8_NEON)
         dram = memory_bound(mk(64 * 1024 * 1024), ARMV8_NEON)

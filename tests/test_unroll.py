@@ -1,6 +1,5 @@
 """Loop unrolling tests: structure and functional equivalence."""
 
-import numpy as np
 import pytest
 
 from repro.ir import Affine, DType, ScalarAssign
