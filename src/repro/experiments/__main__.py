@@ -10,8 +10,11 @@ are configured here and apply to every dataset the selected
 experiments build.
 
 ``python -m repro.experiments analyze …`` dispatches to the static
-analysis CLI instead (see :mod:`.analyze`), and ``… chaos`` to the
-fault-injection parity check (see :mod:`repro.pipeline.faultinject`).
+analysis CLI instead (see :mod:`.analyze`), ``… chaos`` to the
+fault-injection parity check (see :mod:`repro.pipeline.faultinject`),
+``… serve`` to the advisor service (see :mod:`repro.serve.server`),
+and ``… serve-chaos`` to the service-level chaos gate (see
+:mod:`repro.serve.chaos`).
 """
 
 from __future__ import annotations
@@ -35,6 +38,14 @@ def main(argv: list[str] | None = None) -> int:
         from ..pipeline.faultinject import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from ..serve.server import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "serve-chaos":
+        from ..serve.chaos import main as serve_chaos_main
+
+        return serve_chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's figures (see DESIGN.md §4).",

@@ -43,6 +43,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: a configuration error, not a silently-ignored typo.
 FAULT_KINDS = ("crash", "hang", "corrupt_cache", "flaky_exc")
 
+#: Request-scoped fault kinds for the advisor service (PR 8): a handler
+#: that sleeps past its deadline, a worker thread that dies mid-request,
+#: a registry entry whose bytes rot on disk, and a toolchain that
+#: disappears mid-flight.  Scheduled by the same
+#: ``sha256(seed:kind:request:attempt)`` draw as the sweep faults, so a
+#: service chaos run is exactly reproducible.  ``repro.serve`` applies
+#: them; ``REPRO_SERVE_FAULTS`` configures them.
+SERVE_FAULT_KINDS = (
+    "slow_handler",
+    "worker_crash",
+    "corrupt_registry",
+    "toolchain_loss",
+)
+
+#: Every kind any plan may carry.
+ALL_FAULT_KINDS = FAULT_KINDS + SERVE_FAULT_KINDS
+
 #: Exit code an injected crash dies with — distinguishable from a real
 #: segfault's negative signal status in worker post-mortems.
 CRASH_EXIT_CODE = 113
@@ -54,6 +71,15 @@ class InjectedFault(RuntimeError):
 
 class InjectedCrash(InjectedFault):
     """In-process stand-in for a worker crash (serial sweeps only)."""
+
+
+class InjectedWorkerCrash(InjectedFault):
+    """A service worker thread dying mid-request (see ``repro.serve``).
+
+    Unlike :class:`InjectedCrash` this never kills a process: threads
+    share the interpreter, so the service supervisor converts it into a
+    retryable rejection and replaces the worker.
+    """
 
 
 _IN_WORKER = False
@@ -81,10 +107,10 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         for kind, rate in self.rates.items():
-            if kind not in FAULT_KINDS:
+            if kind not in ALL_FAULT_KINDS:
                 raise ValueError(
                     f"unknown fault kind {kind!r}; expected one of "
-                    f"{', '.join(FAULT_KINDS)}"
+                    f"{', '.join(ALL_FAULT_KINDS)}"
                 )
             if not 0.0 <= float(rate) <= 1.0:
                 raise ValueError(
@@ -150,6 +176,25 @@ def plan_from_env() -> Optional[FaultPlan]:
         return None
     seed = int(os.environ.get("REPRO_FAULTS_SEED", "0"))
     hang = float(os.environ.get("REPRO_FAULTS_HANG_S", "30"))
+    return parse_faults(spec, seed=seed, hang_seconds=hang)
+
+
+def serve_plan_from_env() -> Optional[FaultPlan]:
+    """The request-scoped plan ``REPRO_SERVE_FAULTS`` describes, if any.
+
+    Kept separate from :func:`plan_from_env` so a chaos run can fault
+    the serving layer without also faulting the measurement sweeps it
+    may trigger underneath (and vice versa).  ``REPRO_SERVE_FAULTS_SEED``
+    seeds it; the hang duration doubles as the ``slow_handler`` sleep
+    (``REPRO_SERVE_FAULTS_HANG_S``, default 30 s — set it above the
+    service deadline so an injected slowdown is indistinguishable from
+    a real hang).
+    """
+    spec = os.environ.get("REPRO_SERVE_FAULTS", "")
+    if not spec.strip():
+        return None
+    seed = int(os.environ.get("REPRO_SERVE_FAULTS_SEED", "0"))
+    hang = float(os.environ.get("REPRO_SERVE_FAULTS_HANG_S", "30"))
     return parse_faults(spec, seed=seed, hang_seconds=hang)
 
 

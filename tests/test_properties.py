@@ -92,8 +92,10 @@ def test_legality_is_sound_on_neon(kern):
     rv = run_vector(plan, bufs_v)
     assert_buffers_close(bufs_s, bufs_v, rtol=1e-3, atol=1e-4, context=str(kern))
     for name in kern.live_out_scalars():
+        # nan_ok: a random kernel can drive a live-out scalar to NaN on
+        # both paths, which is agreement, not a mismatch.
         assert float(rs.scalars[name]) == pytest.approx(
-            float(rv.scalars[name]), rel=1e-2, abs=1e-3
+            float(rv.scalars[name]), rel=1e-2, abs=1e-3, nan_ok=True
         )
 
 
@@ -137,7 +139,7 @@ def test_unroll_preserves_semantics(kern):
     assert_buffers_close(bufs1, bufs2, rtol=1e-4, atol=1e-5, context="unroll2")
     for name in kern.live_out_scalars():
         assert float(r1.scalars[name]) == pytest.approx(
-            float(r2.scalars[name]), rel=1e-3, abs=1e-4
+            float(r2.scalars[name]), rel=1e-3, abs=1e-4, nan_ok=True
         )
 
 

@@ -420,3 +420,67 @@ def test_env_faults_spec_parsing(monkeypatch):
     plan = plan_from_env()
     assert plan.rate("flaky_exc") == 0.25
     assert plan.seed == 9
+
+
+# -- journal schema versioning ----------------------------------------------
+
+
+def test_journal_foreign_schema_skipped_with_remark(tmp_path):
+    import pickle
+
+    from repro.pipeline.resilience import (
+        JOURNAL_SCHEMA,
+        CheckpointJournal,
+        pipeline_diagnostics,
+    )
+
+    journal = CheckpointJournal.for_sweep(tmp_path, "fe0001")
+    journal.path.parent.mkdir(parents=True, exist_ok=True)
+    with open(journal.path, "wb") as f:
+        pickle.dump({"journal_schema": JOURNAL_SCHEMA + 7}, f)
+        pickle.dump(
+            {"fingerprint": "fp1", "name": "s000", "payload": (None, "a")}, f
+        )
+
+    before = len(pipeline_diagnostics())
+    assert journal.load() == {}  # skipped wholesale, not crashed
+    remarks = list(pipeline_diagnostics())[before:]
+    assert any(
+        "schema" in r.message and r.pass_name == "measurement-pipeline"
+        for r in remarks
+    )
+
+
+def test_journal_headerless_legacy_still_loads(tmp_path):
+    import pickle
+
+    from repro.pipeline.resilience import CheckpointJournal
+
+    journal = CheckpointJournal.for_sweep(tmp_path, "fe0002")
+    journal.path.parent.mkdir(parents=True, exist_ok=True)
+    with open(journal.path, "wb") as f:  # pre-versioning layout
+        pickle.dump(
+            {"fingerprint": "fp1", "name": "s000", "payload": (None, "a")}, f
+        )
+    assert journal.load() == {"fp1": (None, "a")}
+
+
+def test_journal_writes_schema_header_and_survives_roundtrip(tmp_path):
+    import pickle
+
+    from repro.pipeline.resilience import JOURNAL_SCHEMA, CheckpointJournal
+
+    journal = CheckpointJournal.for_sweep(tmp_path, "fe0003")
+    journal.append("fp1", "s000", (None, "a"))
+    with open(journal.path, "rb") as f:
+        header = pickle.load(f)
+    assert header == {"journal_schema": JOURNAL_SCHEMA}
+    assert journal.load() == {"fp1": (None, "a")}
+    # The header survives a torn-tail trim.
+    with open(journal.path, "ab") as f:
+        f.write(b"\x80\x05torn")
+    assert journal.load() == {"fp1": (None, "a")}
+    with open(journal.path, "rb") as f:
+        assert pickle.load(f) == {"journal_schema": JOURNAL_SCHEMA}
+    journal.append("fp2", "s111", (None, "b"))
+    assert set(journal.load()) == {"fp1", "fp2"}

@@ -1,0 +1,126 @@
+"""Circuit-breaker state machine: trips, probes, recovery, counters."""
+
+import threading
+
+import pytest
+
+from repro.serve import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def mk(**kw):
+    clock = FakeClock()
+    kw.setdefault("failure_threshold", 3)
+    kw.setdefault("recovery_time", 5.0)
+    return CircuitBreaker("test", clock=clock, **kw), clock
+
+
+def test_closed_allows_and_counts_consecutive_failures():
+    b, _ = mk()
+    assert b.state == CLOSED
+    assert b.allow()
+    b.record_failure()
+    b.record_failure()
+    assert b.state == CLOSED  # 2 < threshold
+    b.record_success()  # success resets the streak
+    b.record_failure()
+    b.record_failure()
+    assert b.state == CLOSED
+
+
+def test_threshold_trips_open_and_rejects():
+    b, _ = mk()
+    for _ in range(3):
+        b.record_failure()
+    assert b.state == OPEN
+    assert not b.allow()
+    assert b.stats()["trips"] == 1
+    assert b.stats()["rejections"] == 1
+
+
+def test_half_open_after_recovery_time_bounds_probes():
+    b, clock = mk()
+    for _ in range(3):
+        b.record_failure()
+    clock.advance(4.9)
+    assert not b.allow()  # still open
+    clock.advance(0.2)
+    assert b.state == HALF_OPEN
+    assert b.allow()  # the single probe slot
+    assert not b.allow()  # second caller is rejected
+
+
+def test_probe_success_closes_and_counts_recovery():
+    b, clock = mk()
+    for _ in range(3):
+        b.record_failure()
+    clock.advance(5.0)
+    assert b.allow()
+    b.record_success()
+    assert b.state == CLOSED
+    assert b.allow()
+    assert b.stats()["recoveries"] == 1
+
+
+def test_probe_failure_reopens_and_rearms_timer():
+    b, clock = mk()
+    for _ in range(3):
+        b.record_failure()
+    clock.advance(5.0)
+    assert b.allow()
+    b.record_failure()
+    assert b.state == OPEN
+    assert b.stats()["trips"] == 2
+    clock.advance(4.0)
+    assert not b.allow()  # timer restarted at the probe failure
+    clock.advance(1.1)
+    assert b.allow()
+
+
+def test_force_open_and_force_close():
+    b, _ = mk()
+    b.force_open()
+    assert b.state == OPEN and not b.allow()
+    b.force_close()
+    assert b.state == CLOSED and b.allow()
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker("x", failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker("x", recovery_time=-1)
+    with pytest.raises(ValueError):
+        CircuitBreaker("x", half_open_probes=0)
+
+
+def test_thread_safety_single_probe_under_contention():
+    """Exactly one thread wins the half-open probe slot."""
+    b, clock = mk()
+    for _ in range(3):
+        b.record_failure()
+    clock.advance(5.0)
+    wins = []
+    barrier = threading.Barrier(8)
+
+    def attempt():
+        barrier.wait()
+        if b.allow():
+            wins.append(1)
+
+    threads = [threading.Thread(target=attempt) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(wins) == 1
