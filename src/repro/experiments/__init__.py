@@ -18,7 +18,12 @@ from .dataset import (
     clear_dataset_memo,
 )
 from .categories import category_report, worst_categories
-from .registry import EXPERIMENTS, run_all, run_experiment
+from .corpus import (
+    corpus_kernel_names,
+    publish_corpus_model,
+    run_e13,
+)
+from .registry import EXPERIMENTS, EXPLICIT_ONLY, run_all, run_experiment
 from .reporting import ascii_table, fail_summary, text_scatter
 from .scheduler import SuiteRun, bench_suite, run_suite, seed_mode
 
@@ -43,7 +48,11 @@ __all__ = [
     "category_report",
     "worst_categories",
     "EXPERIMENTS",
+    "EXPLICIT_ONLY",
+    "corpus_kernel_names",
+    "publish_corpus_model",
     "run_all",
+    "run_e13",
     "run_experiment",
     "ascii_table",
     "fail_summary",

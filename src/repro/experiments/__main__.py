@@ -13,8 +13,9 @@ experiments build.
 analysis CLI instead (see :mod:`.analyze`), ``… chaos`` to the
 fault-injection parity check (see :mod:`repro.pipeline.faultinject`),
 ``… serve`` to the advisor service (see :mod:`repro.serve.server`),
-and ``… serve-chaos`` to the service-level chaos gate (see
-:mod:`repro.serve.chaos`).
+``… serve-chaos`` to the service-level chaos gate (see
+:mod:`repro.serve.chaos`), and ``… corpus`` to the sharded synthetic
+corpus sweep (see :mod:`.corpus`).
 """
 
 from __future__ import annotations
@@ -46,6 +47,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..serve.chaos import main as serve_chaos_main
 
         return serve_chaos_main(argv[1:])
+    if argv and argv[0] == "corpus":
+        from .corpus import main as corpus_main
+
+        return corpus_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's figures (see DESIGN.md §4).",
@@ -54,7 +59,8 @@ def main(argv: list[str] | None = None) -> int:
         "ids",
         nargs="*",
         default=["all"],
-        help="experiment ids (E1..E11) or 'all'",
+        help="experiment ids (E1..E13) or 'all' (E13 runs only when "
+        "named explicitly)",
     )
     parser.add_argument(
         "--no-scatter", action="store_true", help="omit the text scatter plots"

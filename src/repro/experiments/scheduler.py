@@ -37,7 +37,7 @@ from ..costmodel.matrix import matrix_cache_disabled
 from ..validation.loocv import svr_warm_disabled
 from .base import ExperimentResult, engine_cache_disabled
 from .dataset import ARM_LLV, X86_SLP, DatasetSpec, build_dataset
-from .registry import EXPERIMENTS
+from .registry import EXPERIMENTS, EXPLICIT_ONLY
 
 #: Datasets each driver needs, used by the pre-build phase.  E7
 #: measures two extra kernel variants on top of the ARM dataset; E12
@@ -55,6 +55,10 @@ SPEC_REQUIREMENTS: dict[str, tuple[DatasetSpec, ...]] = {
     "E10": (X86_SLP,),
     "E11": (X86_SLP,),
     "E12": (ARM_LLV, X86_SLP),
+    # E13 sweeps its own generated corpora through measure_corpus; it
+    # deliberately bypasses the suite dataset memo, so nothing to
+    # pre-build here.
+    "E13": (),
 }
 
 
@@ -77,9 +81,14 @@ class SuiteRun:
 
 
 def normalize_ids(ids: Optional[Sequence[str]] = None) -> list[str]:
-    """Validate and order experiment ids (registry order, deduped)."""
+    """Validate and order experiment ids (registry order, deduped).
+
+    ``all`` (and the empty default) excludes explicit-only experiments
+    — E13's corpus sweep runs only when named, so the E1–E12 bench and
+    parity gates keep their workload.
+    """
     if not ids or any(i.lower() == "all" for i in ids):
-        return list(EXPERIMENTS)
+        return [eid for eid in EXPERIMENTS if eid not in EXPLICIT_ONLY]
     wanted = []
     for i in ids:
         key = i.upper()

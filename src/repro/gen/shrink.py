@@ -1,0 +1,195 @@
+"""Greedy kernel shrinking for property-test counterexamples.
+
+When a property test over generated kernels fails, the raw
+counterexample is an arbitrary sampled kernel — several statements,
+deep expression trees, spare declarations.  ``shrink_kernel`` reduces
+it while a caller-supplied predicate (\"still fails\") holds, by
+repeatedly applying the first size-reducing transformation that keeps
+the kernel both structurally valid and failing:
+
+* drop a top-level statement (when more than one remains),
+* unwrap an ``IfBlock`` (splice its then-branch, drop its else-branch),
+* replace an expression node by one of its same-typed children
+  (``BinOp``→operand, ``UnOp``/``Convert``→operand, ``Select``→arm),
+* prune declarations the body no longer references.
+
+Candidates that fail ``verify_kernel`` are skipped, so the minimal
+kernel is itself valid IR and can be printed with
+:func:`repro.ir.kernel_to_source` as a self-contained reproducer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+from ..ir import (
+    ArrayStore,
+    BinOp,
+    Convert,
+    Expr,
+    IfBlock,
+    Indirect,
+    LoopKernel,
+    ScalarAssign,
+    Select,
+    Stmt,
+    UnOp,
+    verify_kernel,
+    walk_stmts,
+)
+
+__all__ = ["shrink_kernel", "kernel_size"]
+
+
+def kernel_size(kernel: LoopKernel) -> int:
+    """Node-count measure the shrinker minimizes."""
+    total = 0
+    for stmt in walk_stmts(kernel.body):
+        total += 1
+        for root in stmt.exprs():
+            total += _expr_size(root)
+    return total + len(kernel.arrays) + len(kernel.scalars)
+
+
+def _expr_size(e: Expr) -> int:
+    return 1 + sum(_expr_size(c) for c in e.children())
+
+
+def _shrink_expr(e: Expr) -> Iterator[Expr]:
+    """Same-typed strictly smaller replacements for ``e``, then the
+    results of shrinking one child in place."""
+    if isinstance(e, BinOp):
+        for side in (e.lhs, e.rhs):
+            if side.dtype == e.dtype:
+                yield side
+        for lhs in _shrink_expr(e.lhs):
+            yield BinOp(e.op, lhs, e.rhs)
+        for rhs in _shrink_expr(e.rhs):
+            yield BinOp(e.op, e.lhs, rhs)
+    elif isinstance(e, UnOp):
+        if e.operand.dtype == e.dtype:
+            yield e.operand
+        for operand in _shrink_expr(e.operand):
+            yield UnOp(e.op, operand)
+    elif isinstance(e, Select):
+        for arm in (e.if_true, e.if_false):
+            if arm.dtype == e.dtype:
+                yield arm
+    elif isinstance(e, Convert):
+        if e.operand.dtype == e.dtype:
+            yield e.operand
+
+
+def _with_value(stmt: Stmt, value: Expr) -> Stmt:
+    if isinstance(stmt, (ArrayStore, ScalarAssign)):
+        return dataclasses.replace(stmt, value=value)
+    raise TypeError(f"statement {stmt!r} has no value to replace")
+
+
+def _shrink_stmt(stmt: Stmt) -> Iterator[tuple[Stmt, ...]]:
+    """Replacements for one statement, each a (possibly empty or
+    spliced) tuple of statements."""
+    if isinstance(stmt, IfBlock):
+        yield stmt.then_body  # unwrap the guard
+        if stmt.else_body:
+            yield stmt.else_body
+            yield (IfBlock(stmt.cond, stmt.then_body),)  # drop else
+        for idx in range(len(stmt.then_body)):
+            for repl in _shrink_stmt(stmt.then_body[idx]):
+                body = stmt.then_body[:idx] + repl + stmt.then_body[idx + 1 :]
+                if body:
+                    yield (IfBlock(stmt.cond, body, stmt.else_body),)
+    elif isinstance(stmt, (ArrayStore, ScalarAssign)):
+        for value in _shrink_expr(stmt.value):
+            yield (_with_value(stmt, value),)
+
+
+def _used_names(body: tuple[Stmt, ...]) -> set[str]:
+    names: set[str] = set()
+
+    def visit(e: Expr) -> None:
+        from ..ir import Load, ScalarRef
+
+        if isinstance(e, Load):
+            names.add(e.array)
+            for ix in e.subscript:
+                if isinstance(ix, Indirect):
+                    names.add(ix.array)
+        elif isinstance(e, ScalarRef):
+            names.add(e.name)
+        for child in e.children():
+            visit(child)
+
+    for stmt in walk_stmts(body):
+        if isinstance(stmt, ArrayStore):
+            names.add(stmt.array)
+            for ix in stmt.subscript:
+                if isinstance(ix, Indirect):
+                    names.add(ix.array)
+        elif isinstance(stmt, ScalarAssign):
+            names.add(stmt.name)
+        for root in stmt.exprs():
+            visit(root)
+    return names
+
+
+def _prune_decls(kernel: LoopKernel) -> LoopKernel:
+    used = _used_names(kernel.body)
+    arrays = {n: d for n, d in kernel.arrays.items() if n in used}
+    scalars = {n: d for n, d in kernel.scalars.items() if n in used}
+    if len(arrays) == len(kernel.arrays) and len(scalars) == len(kernel.scalars):
+        return kernel
+    return dataclasses.replace(kernel, arrays=arrays, scalars=scalars)
+
+
+def _candidates(kernel: LoopKernel) -> Iterator[LoopKernel]:
+    body = kernel.body
+    if len(body) > 1:
+        for idx in range(len(body)):
+            yield dataclasses.replace(
+                kernel, body=body[:idx] + body[idx + 1 :]
+            )
+    for idx in range(len(body)):
+        for repl in _shrink_stmt(body[idx]):
+            new_body = body[:idx] + repl + body[idx + 1 :]
+            if new_body:
+                yield dataclasses.replace(kernel, body=new_body)
+
+
+def shrink_kernel(
+    kernel: LoopKernel,
+    predicate: Callable[[LoopKernel], bool],
+    max_rounds: int = 500,
+) -> LoopKernel:
+    """Greedily minimize ``kernel`` while ``predicate`` stays true.
+
+    ``predicate(kernel)`` must be true on entry (the caller's failing
+    property); the result is a locally minimal valid kernel on which it
+    is still true.  Predicates should treat \"raises\" however the
+    caller means it — the shrinker itself only catches verification
+    failures of candidate kernels.
+    """
+    current = kernel
+    for _ in range(max_rounds):
+        for cand in _candidates(current):
+            cand = _prune_decls(cand)
+            try:
+                verify_kernel(cand)
+            except Exception:
+                continue
+            if kernel_size(cand) >= kernel_size(current):
+                continue
+            try:
+                still_failing = predicate(cand)
+            except Exception:
+                still_failing = False
+            if still_failing:
+                current = cand
+                break
+        else:
+            break  # no candidate both valid and still-failing: minimal
+    # An untouched kernel is returned as-is (spare decls and all) so a
+    # never-failing predicate is a no-op; anything shrunk gets its dead
+    # declarations pruned.
+    return current if current is kernel else _prune_decls(current)

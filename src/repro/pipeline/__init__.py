@@ -16,6 +16,11 @@ from .build import (
     resolve_timeout,
     resolve_workers,
 )
+from .corpus import (
+    CorpusResult,
+    measure_corpus,
+    partition_names,
+)
 from .faultinject import (
     FaultPlan,
     InjectedCrash,
@@ -58,6 +63,9 @@ __all__ = [
     "measure_suite",
     "resolve_timeout",
     "resolve_workers",
+    "CorpusResult",
+    "measure_corpus",
+    "partition_names",
     "FaultPlan",
     "InjectedCrash",
     "InjectedFault",

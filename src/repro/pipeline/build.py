@@ -207,6 +207,9 @@ class DatasetBuildStats:
     tiers: dict = field(default_factory=dict)
     #: Seconds spent building native ``.so`` artifacts during the sweep.
     compile_build_s: float = 0.0
+    #: Kernels whose native artifacts were built by the batched
+    #: pre-build (N kernels per ``cc`` invocation) before dispatch.
+    native_prebuilt: int = 0
 
 
 #: compile_summary keys folded into :attr:`DatasetBuildStats.tiers`
@@ -277,7 +280,13 @@ def estimate_kernel_work(kernel) -> float:
             # cost of a native run is near-free.  This moves the
             # serial/pool break-even: a mostly-guarded suite that
             # justified a pool on the NumPy tier often no longer does.
-            work += 3000.0 + 0.002 * stmts * inner * outer
+            # Batched pre-builds amortize the cc invocation over
+            # ``native_batch_size()`` kernels, so a corpus-cold sweep
+            # no longer looks serially cheap when a pool would win
+            # (REPRO_NATIVE_BATCH=1 restores the per-kernel estimate).
+            from ..sim.native import native_batch_size
+
+            work += 3000.0 / native_batch_size() + 0.002 * stmts * inner * outer
         elif compile_enabled():
             # One-time compile + self-check, then a cheap compiled run.
             work += 5000.0 + 0.02 * stmts * inner * outer
@@ -445,12 +454,19 @@ def measure_suite(
     supervise: bool = True,
     faults: Union[FaultPlan, str, None] = None,
     stats: Optional[DatasetBuildStats] = None,
+    kernels=None,
+    journal_tag: str = "",
 ):
-    """Sweep the whole TSVC suite for one measurement spec.
+    """Sweep a kernel set (default: the whole TSVC suite) for one spec.
 
-    Returns ``(samples, failures)`` in suite registration order —
-    independent of worker count, cache state, and any faults the
-    supervisor absorbed.  ``prepass`` controls the verify+lint gate
+    Returns ``(samples, failures)`` in input order — independent of
+    worker count, cache state, and any faults the supervisor absorbed.
+    ``kernels`` overrides the sweep set (e.g. a generated-corpus shard);
+    every kernel must be rebuildable by name through
+    :func:`repro.tsvc.get_kernel`, because pool workers and checkpoint
+    journals re-resolve kernels that way.  ``journal_tag`` namespaces
+    the checkpoint journal (shards of one corpus must not share a
+    journal file).  ``prepass`` controls the verify+lint gate
     run before the cache is consulted (default on; ``REPRO_PREPASS=0``
     disables it).
 
@@ -492,7 +508,7 @@ def measure_suite(
     if resume is None:
         resume = bool(_CONFIG.resume)
 
-    kernels = list(all_kernels())
+    kernels = list(all_kernels()) if kernels is None else list(kernels)
     if prepass is None:
         prepass = os.environ.get("REPRO_PREPASS", "1") != "0"
     if prepass:
@@ -511,7 +527,7 @@ def measure_suite(
         else:
             results[kern.name] = payload
 
-    journal = _resolve_journal(spec, checkpoint_dir)
+    journal = _resolve_journal(spec, checkpoint_dir, tag=journal_tag)
     if journal is not None:
         if resume:
             restored = journal.load(valid=set(fingerprints.values()))
@@ -536,6 +552,9 @@ def measure_suite(
     if pending:
         workers = resolve_workers(workers, pending=len(pending))
         by_name = {k.name: k for k in kernels}
+        prebuilt = _prebuild_pending(by_name, pending)
+        if stats is not None:
+            stats.native_prebuilt = prebuilt
         faults_active = faults is not None and any(
             float(r) > 0 for r in faults.rates.values()
         )
@@ -607,8 +626,41 @@ def measure_suite(
     return samples, failures
 
 
+def _prebuild_pending(by_name: dict, pending: list) -> int:
+    """Batch-build native artifacts for the pending guarded kernels.
+
+    Guard-probability estimation is the only stage of a sweep that
+    *executes* kernels, and it only runs for guarded ones — so those
+    are the kernels whose native artifacts are worth warming.  Building
+    them here, in the main process and ``native_batch_size()`` kernels
+    per ``cc`` invocation, means pool workers (and the serial path)
+    attach finished artifacts from the shared on-disk cache instead of
+    each paying a one-kernel compile.  Returns the number of artifacts
+    built now (0 when batching or the native tier is unavailable).
+    """
+    from ..ir.stmt import IfBlock
+    from ..sim.compile import compile_enabled
+    from ..sim.native import native_batch_size, prebuild_native
+
+    if not compile_enabled() or native_batch_size() <= 1:
+        return 0
+    guarded = [
+        by_name[n]
+        for n in pending
+        if any(isinstance(s, IfBlock) for s in by_name[n].stmts())
+    ]
+    if not guarded:
+        return 0
+    statuses = prebuild_native(guarded)
+    return sum(
+        1
+        for v in statuses.values()
+        if v in ("exact", "tolerance", "mismatch")
+    )
+
+
 def _resolve_journal(
-    spec: "DatasetSpec", checkpoint_dir
+    spec: "DatasetSpec", checkpoint_dir, tag: str = ""
 ) -> Optional[CheckpointJournal]:
     """The sweep's journal, or ``None`` when checkpointing is off."""
     directory = checkpoint_dir or _CONFIG.checkpoint_dir
@@ -618,9 +670,14 @@ def _resolve_journal(
         return None
     from .fingerprint import code_digest
 
-    key = journal_key(
+    parts = [
         code_digest(), spec.target, spec.vectorizer, spec.jitter, spec.seed
-    )
+    ]
+    if tag:
+        # Extra namespace for corpus shards; the untagged key is
+        # unchanged so existing suite journals stay resumable.
+        parts.append(tag)
+    key = journal_key(*parts)
     return CheckpointJournal.for_sweep(directory, key)
 
 

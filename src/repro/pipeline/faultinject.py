@@ -296,6 +296,27 @@ def main(argv: Optional[list[str]] = None) -> int:
         choices=("arm", "x86", "both"),
         help="which dataset specs to sweep (default: both)",
     )
+    parser.add_argument(
+        "--corpus",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also chaos-test a generated corpus of N kernels (suite + "
+        "synthetic) through the sharded sweep (default: suite only)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="shard count for the faulted --corpus sweep (default: 3)",
+    )
+    parser.add_argument(
+        "--gen-seed",
+        type=int,
+        default=0,
+        dest="gen_seed",
+        help="generator seed for the --corpus kernels (default: 0)",
+    )
     args = parser.parse_args(argv)
 
     # Imported lazily: build imports resilience imports this module.
@@ -342,6 +363,50 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(report.summary())
         if not ok:
             failures += 1
+
+        if args.corpus > 0:
+            # The generated-corpus leg: a faulted *sharded* sweep over
+            # suite + synthetic kernels must converge bit-identically
+            # to a clean serial sweep of the same names.
+            from ..experiments.corpus import corpus_kernel_names
+            from .corpus import measure_corpus
+
+            names = corpus_kernel_names(args.corpus, seed=args.gen_seed)
+            clean_res = measure_corpus(
+                names,
+                spec,
+                shards=1,
+                workers=1,
+                cache=no_cache,
+                supervise=False,
+            )
+            chaos_res = measure_corpus(
+                names,
+                spec,
+                shards=args.shards,
+                workers=args.workers,
+                cache=no_cache,
+                timeout=timeout,
+                retry=policy,
+                faults=plan,
+            )
+            c_parity = (
+                _samples_equal(clean_res.samples, chaos_res.samples)
+                and clean_res.failures == chaos_res.failures
+            )
+            c_ok = c_parity and not chaos_res.quarantined_names
+            print(
+                f"[chaos] {spec.label} corpus({len(names)}, "
+                f"{chaos_res.shards} shards): "
+                f"{len(chaos_res.samples)} samples, "
+                f"{len(chaos_res.failures)} not vectorizable, "
+                f"{len(chaos_res.quarantined_names)} quarantined, "
+                f"parity={'ok' if c_parity else 'MISMATCH'}"
+            )
+            if chaos_res.quarantined_names:
+                print(chaos_res.report.summary())
+            if not c_ok:
+                failures += 1
     if failures:
         print(f"[chaos] FAILED for {failures} spec(s)")
         return 1

@@ -101,9 +101,11 @@ __all__ = [
     "clear_attached",
     "clear_native_artifacts",
     "native_available",
+    "native_batch_size",
     "native_cache_dir",
     "native_compiled",
     "native_enabled",
+    "prebuild_native",
     "reset_native_state",
     "try_run_vector_blocks",
 ]
@@ -112,7 +114,10 @@ __all__ = [
 #: every cached artifact older than this schema is invalidated.
 #: 2: range-analysis consumers (unguarded fast body behind a runtime
 #: contract scan, plain shifts, folded constant guards).
-NATIVE_SCHEMA = 2
+#: 3: batched translation units — sidecar meta gained ``so`` (shared
+#: ``batch-*.so`` membership) and ``prefix`` (per-member symbol names),
+#: and the loader resolves shared objects through the meta.
+NATIVE_SCHEMA = 3
 
 #: Inner iterations of the build-time interpreter-vs-native check.
 #: Longer than the PR-4 check (16): libm divergence (``expf``) needs a
@@ -192,6 +197,19 @@ def native_cache_max() -> int:
         return max(1, int(os.environ.get("REPRO_NATIVE_CACHE_MAX", "512")))
     except ValueError:
         return 512
+
+
+def native_batch_size() -> int:
+    """Kernels per batched translation unit (``REPRO_NATIVE_BATCH``).
+
+    Values of 0 or 1 disable batching — every kernel gets its own TU
+    and ``cc`` invocation, the pre-batching behavior the corpus bench
+    compares against.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_NATIVE_BATCH", "24")))
+    except ValueError:
+        return 24
 
 
 def clear_attached() -> None:
@@ -866,16 +884,17 @@ class _CEmitter:
         self.indent -= 1
         self.emit("}")
 
-    def gen_vector(self) -> str:
+    def gen_vector(self, name: str = "repro_vector") -> str:
         k = self.kernel
         if self.depth != 1:
             raise NativeUnsupported("vector entry requires a depth-1 loop")
         if any(isinstance(s, IfBlock) for s in k.stmts()):
             raise NativeUnsupported("guarded statements in vector entry")
+        pad = " " * len(f"int64_t {name}(")
         self.lines = [
-            "int64_t repro_vector(void **bufs, void **lanes,",
-            "                     int64_t vf, int64_t vec_trip,",
-            "                     int64_t *sqrt_fires, int64_t *oob) {",
+            f"int64_t {name}(void **bufs, void **lanes,",
+            f"{pad}int64_t vf, int64_t vec_trip,",
+            f"{pad}int64_t *sqrt_fires, int64_t *oob) {{",
         ]
         for j, (name, decl) in enumerate(k.arrays.items()):
             ct = _CTYPE[decl.dtype]
@@ -928,7 +947,9 @@ def _ranges_info(kernel: LoopKernel):
     return am.get(BoundsCheckPass, kernel), am.get(GuardRangePass, kernel)
 
 
-def _emit_contract_fn(kernel: LoopKernel, checks) -> str:
+def _emit_contract_fn(
+    kernel: LoopKernel, checks, name: str = "repro_contract_ok"
+) -> str:
     """``repro_contract_ok``: runtime validation of the data contract
     every fast-body elision leans on.
 
@@ -948,10 +969,11 @@ def _emit_contract_fn(kernel: LoopKernel, checks) -> str:
         if key not in seen:
             seen.add(key)
             by_arr.setdefault(arr, []).append((af, iext, text))
+    pad = " " * len(f"static int {name}(")
     lines = [
         "REPRO_VECLOOP",
-        "static int repro_contract_ok(void **bufs, int64_t inner_trip,",
-        "                             int64_t outer_trip) {",
+        f"static int {name}(void **bufs, int64_t inner_trip,",
+        f"{pad}int64_t outer_trip) {{",
         "    (void)bufs; (void)inner_trip; (void)outer_trip;",
     ]
     for name in sorted(by_arr):
@@ -1000,24 +1022,34 @@ def _emit_contract_fn(kernel: LoopKernel, checks) -> str:
     return "\n".join(lines)
 
 
-_DISPATCH = """\
-int64_t repro_scalar(void **bufs, void **scalars,
-                     int64_t inner_trip, int64_t outer_trip,
-                     int64_t *gseen, int64_t *gtaken,
-                     int64_t *gorder, int64_t *gcount,
-                     int64_t *sqrt_fires, int64_t *oob) {
-    if (repro_contract_ok(bufs, inner_trip, outer_trip))
-        return repro_scalar_fast(bufs, scalars, inner_trip, outer_trip,
-                                 gseen, gtaken, gorder, gcount,
-                                 sqrt_fires, oob);
-    return repro_scalar_guarded(bufs, scalars, inner_trip, outer_trip,
-                                gseen, gtaken, gorder, gcount,
-                                sqrt_fires, oob);
-}"""
+def _dispatch_src(prefix: str) -> str:
+    """The dispatcher entry: contract scan → fast or guarded body."""
+    args = (
+        "bufs, scalars, inner_trip, outer_trip, "
+        "gseen, gtaken, gorder, gcount, sqrt_fires, oob"
+    )
+    pad = " " * len(f"int64_t {prefix}scalar(")
+    return (
+        f"int64_t {prefix}scalar(void **bufs, void **scalars,\n"
+        f"{pad}int64_t inner_trip, int64_t outer_trip,\n"
+        f"{pad}int64_t *gseen, int64_t *gtaken,\n"
+        f"{pad}int64_t *gorder, int64_t *gcount,\n"
+        f"{pad}int64_t *sqrt_fires, int64_t *oob) {{\n"
+        f"    if ({prefix}contract_ok(bufs, inner_trip, outer_trip))\n"
+        f"        return {prefix}scalar_fast({args});\n"
+        f"    return {prefix}scalar_guarded({args});\n"
+        "}"
+    )
 
 
-def _emit_translation_unit(kernel: LoopKernel) -> tuple[str, list, str, dict]:
-    """(C source, lane-scalar names, vector entry status, elision info).
+def _emit_kernel_body(
+    kernel: LoopKernel, prefix: str = "repro_"
+) -> tuple[str, list, str, dict]:
+    """(entry functions for one kernel, lane-scalar names, vector entry
+    status, elision info) — everything in the translation unit except
+    the shared prelude.  Exported symbols are ``{prefix}scalar`` and
+    (when supported) ``{prefix}vector``; batched units give each member
+    a distinct prefix so N kernels share one ``cc`` invocation.
 
     The scalar entry is mandatory — a refusal there propagates and no
     artifact is built.  The vector entry is best-effort: its refusal is
@@ -1034,7 +1066,7 @@ def _emit_translation_unit(kernel: LoopKernel) -> tuple[str, list, str, dict]:
     fast = _CEmitter(
         kernel, vector=False, bounds=bounds, guards=guards, fast=True
     )
-    fast_src = fast.gen_scalar(name="repro_scalar_fast", static=True)
+    fast_src = fast.gen_scalar(name=f"{prefix}scalar_fast", static=True)
     # Profitability gate (cost model, not soundness): the dispatcher
     # pays a per-call contract scan, which only amortizes when a *load*
     # check is elided — a gathered load's bounds check sits on the
@@ -1053,10 +1085,12 @@ def _emit_translation_unit(kernel: LoopKernel) -> tuple[str, list, str, dict]:
         fast_src = "REPRO_VECLOOP\n" + fast_src
         guarded_src = _CEmitter(
             kernel, vector=False, bounds=bounds, guards=guards
-        ).gen_scalar(name="repro_scalar_guarded", static=True)
-        contract_src = _emit_contract_fn(kernel, fast.contract_checks)
+        ).gen_scalar(name=f"{prefix}scalar_guarded", static=True)
+        contract_src = _emit_contract_fn(
+            kernel, fast.contract_checks, name=f"{prefix}contract_ok"
+        )
         scalar_src = "\n\n".join(
-            [guarded_src, fast_src, contract_src, _DISPATCH]
+            [guarded_src, fast_src, contract_src, _dispatch_src(prefix)]
         )
         elided = {
             "gathers": fast.elided_gathers,
@@ -1065,7 +1099,7 @@ def _emit_translation_unit(kernel: LoopKernel) -> tuple[str, list, str, dict]:
         }
     else:
         plain = _CEmitter(kernel, vector=False, bounds=bounds, guards=guards)
-        scalar_src = plain.gen_scalar()
+        scalar_src = plain.gen_scalar(name=f"{prefix}scalar")
         elided = {
             "gathers": 0,
             "shifts": plain.elided_shifts,
@@ -1075,16 +1109,21 @@ def _emit_translation_unit(kernel: LoopKernel) -> tuple[str, list, str, dict]:
     try:
         vector_src = _CEmitter(
             kernel, vector=True, lanes=frozenset(lanes), guards=guards
-        ).gen_vector()
+        ).gen_vector(name=f"{prefix}vector")
         vector_status = "candidate"
     except NativeUnsupported as exc:
         vector_src = ""
         vector_status = f"unsupported: {exc}"
-    header = f"/* kernel {kernel.name!r} — generated by repro.sim.native */\n"
-    source = header + _PRELUDE + "\n" + scalar_src
     if vector_src:
-        source += "\n\n" + vector_src
-    return source + "\n", sorted(lanes), vector_status, elided
+        scalar_src += "\n\n" + vector_src
+    return scalar_src, sorted(lanes), vector_status, elided
+
+
+def _emit_translation_unit(kernel: LoopKernel) -> tuple[str, list, str, dict]:
+    """One-kernel TU: shared prelude + the kernel's entry functions."""
+    body, lanes, vector_status, elided = _emit_kernel_body(kernel)
+    header = f"/* kernel {kernel.name!r} — generated by repro.sim.native */\n"
+    return header + _PRELUDE + "\n" + body + "\n", lanes, vector_status, elided
 
 
 # ---------------------------------------------------------------------------
@@ -1153,10 +1192,11 @@ def _load_meta(root: str, nfp: str, fp: str, tc: Toolchain) -> Optional[dict]:
     or unparsable JSON is evicted and reported as a miss — never fatal.
     """
     p = _paths(root, nfp)
-    have_so, have_meta = os.path.exists(p["so"]), os.path.exists(p["meta"])
-    if not (have_so and have_meta):
-        if have_so or have_meta:
-            _evict(root, nfp)
+    # Meta first: batch members have no ``<nfp>.so`` of their own — the
+    # meta's ``so`` key names the shared ``batch-*.so`` they live in.
+    if not os.path.exists(p["meta"]):
+        if os.path.exists(p["so"]):
+            _evict(root, nfp)  # half-install: .so without meta
         return None
     try:
         with open(p["meta"]) as fh:
@@ -1166,14 +1206,26 @@ def _load_meta(root: str, nfp: str, fp: str, tc: Toolchain) -> Optional[dict]:
             and meta.get("schema") == NATIVE_SCHEMA
             and meta.get("kernel_fp") == fp
             and meta.get("toolchain") == tc.identity
-            and meta.get("so_sha256") == _sha256_file(p["so"])
         )
+        if ok:
+            so_path = _so_path(root, nfp, meta)
+            ok = os.path.exists(so_path) and meta.get(
+                "so_sha256"
+            ) == _sha256_file(so_path)
     except (OSError, ValueError):
         ok = False
     if not ok:
+        # Evicts the member's own files only; a shared batch .so other
+        # members still reference is never unlinked here (LRU pruning
+        # owns its lifetime, and orphaned members self-evict as misses).
         _evict(root, nfp)
         return None
     return meta
+
+
+def _so_path(root: str, nfp: str, meta: dict) -> str:
+    """The shared object a validated meta points at (own or batch)."""
+    return os.path.join(root, meta.get("so") or (nfp + ".so"))
 
 
 def _build_artifact(
@@ -1241,6 +1293,165 @@ def _build_artifact(
     return meta
 
 
+# ---------------------------------------------------------------------------
+# Batched builds: N kernels per translation unit, one cc invocation
+# ---------------------------------------------------------------------------
+
+
+def prebuild_native(kernels) -> dict[str, str]:
+    """Batch-compile native artifacts for ``kernels`` ahead of a sweep.
+
+    Renders up to :func:`native_batch_size` kernels into one
+    translation unit and invokes ``cc`` once per batch — the dominant
+    cost of a corpus-cold sweep is the per-kernel compiler process, so
+    this is where the ≥3× corpus throughput comes from.  Every member
+    keeps the single-kernel contract: its own fingerprint-keyed sidecar
+    meta (pointing at the shared ``batch-*.so`` via the ``so`` key and
+    at its symbols via ``prefix``), its own interpreter self-check
+    before install, and individual demotion — a mismatching member is
+    recorded demoted without poisoning its batchmates.
+
+    Returns ``{kernel.name: status}`` where status is ``"cached"``
+    (artifact already present), a self-check verdict (``"exact"`` /
+    ``"tolerance"`` / ``"mismatch"``), ``"unsupported: …"`` (static
+    codegen refusal — the per-kernel path will memoize the failure), or
+    ``"deferred: …"`` (batch compile failed; members fall back to
+    per-kernel builds on demand, isolating any culprit).  Best-effort
+    by design: an empty result simply means every kernel takes the
+    per-kernel path.
+    """
+    out: dict[str, str] = {}
+    if not native_enabled() or native_batch_size() <= 1:
+        return out
+    tc = find_toolchain()
+    if tc is None:
+        return out
+    root = native_cache_dir()
+    os.makedirs(root, exist_ok=True)
+    todo: list[tuple[LoopKernel, str, str]] = []
+    seen_nfp: set[str] = set()
+    for kern in kernels:
+        fp = _compile._cache_fp(kern)
+        nfp = _native_fingerprint(fp, tc)
+        if nfp in seen_nfp:
+            out[kern.name] = "cached"
+            continue
+        if nfp in _ATTACHED or os.path.exists(_paths(root, nfp)["meta"]):
+            out[kern.name] = "cached"
+            seen_nfp.add(nfp)
+            continue
+        seen_nfp.add(nfp)
+        todo.append((kern, fp, nfp))
+    size = native_batch_size()
+    for start in range(0, len(todo), size):
+        out.update(_build_batch(todo[start : start + size], tc, root))
+    return out
+
+
+def _build_batch(
+    members: list, tc: Toolchain, root: str
+) -> dict[str, str]:
+    """Emit, compile, verify, and install one batched translation unit."""
+    t0 = time.perf_counter()
+    statuses: dict[str, str] = {}
+    emitted = []
+    for j, (kern, fp, nfp) in enumerate(members):
+        prefix = f"k{j}_"
+        try:
+            body, lanes, vstatus, elided = _emit_kernel_body(kern, prefix)
+        except NativeUnsupported as exc:
+            statuses[kern.name] = f"unsupported: {exc}"
+            continue
+        except Exception as exc:
+            statuses[kern.name] = f"unsupported: codegen failed {exc!r}"
+            continue
+        emitted.append((kern, fp, nfp, prefix, body, lanes, vstatus, elided))
+    if not emitted:
+        return statuses
+    bfp = hashlib.sha256(
+        "|".join(nfp for _k, _f, nfp, *_rest in emitted).encode()
+    ).hexdigest()[:40]
+    tag = f"batch-{bfp}"
+    p = _paths(root, tag)
+    with open(p["lock"], "w") as lk:
+        fcntl.flock(lk.fileno(), fcntl.LOCK_EX)
+        if all(
+            os.path.exists(_paths(root, nfp)["meta"])
+            for _k, _f, nfp, *_rest in emitted
+        ):
+            # A concurrent builder won the race for every member.
+            for kern, _fp, _nfp, *_rest in emitted:
+                statuses[kern.name] = "cached"
+            return statuses
+        header = (
+            f"/* batch of {len(emitted)} kernels — "
+            "generated by repro.sim.native */\n"
+        )
+        parts = [header + _PRELUDE]
+        for kern, _fp, _nfp, _prefix, body, *_rest in emitted:
+            parts.append(f"/* kernel {kern.name!r} */\n" + body)
+        _atomic_write_text(p["c"], "\n\n".join(parts) + "\n")
+        tmp_so = os.path.join(root, f".{tag}.{os.getpid()}.so.tmp")
+        try:
+            try:
+                compile_shared(tc, p["c"], tmp_so)
+            except ToolchainError as exc:
+                # The combined TU failed to build.  Defer every member
+                # to the per-kernel path, which isolates any culprit
+                # with its own diagnostics.
+                for kern, _fp, _nfp, *_rest in emitted:
+                    statuses[kern.name] = f"deferred: {exc.detail()}"
+                return statuses
+            lib = ctypes.CDLL(tmp_so)
+            checked = []
+            for kern, fp, nfp, prefix, _body, lanes, vstatus, elided in emitted:
+                runner = _make_scalar_runner(
+                    lib, kern, symbol=f"{prefix}scalar"
+                )
+                verdict, detail = _verify_scalar(kern, fp, runner)
+                if vstatus == "candidate":
+                    try:
+                        vrun = _make_vector_runner(
+                            lib, kern, frozenset(lanes), symbol=f"{prefix}vector"
+                        )
+                        vstatus = _verify_vector(kern, vrun)
+                    except Exception as exc:
+                        vstatus = f"unsupported: wrapper failed ({exc!r})"
+                checked.append(
+                    (kern, fp, nfp, prefix, lanes, vstatus, elided, verdict, detail)
+                )
+            os.replace(tmp_so, p["so"])
+        finally:
+            try:
+                os.unlink(tmp_so)
+            except OSError:
+                pass
+        so_sha = _sha256_file(p["so"])
+        for kern, fp, nfp, prefix, lanes, vstatus, elided, verdict, detail in checked:
+            meta = {
+                "schema": NATIVE_SCHEMA,
+                "kernel": kern.name,
+                "kernel_fp": fp,
+                "toolchain": tc.identity,
+                "so": f"{tag}.so",
+                "prefix": prefix,
+                "so_sha256": so_sha,
+                "scalar": verdict,
+                "scalar_detail": detail,
+                "vector": vstatus,
+                "lanes": lanes,
+                "elided": elided,
+            }
+            _atomic_write_text(
+                _paths(root, nfp)["meta"],
+                json.dumps(meta, indent=1, sort_keys=True),
+            )
+            statuses[kern.name] = verdict
+    _compile._STATS.native_build_s += time.perf_counter() - t0
+    _prune(root)
+    return statuses
+
+
 def _attach(kernel: LoopKernel, fp: str, tc: Toolchain, nfp: str):
     """Memoized attach: load (building if needed) the kernel's artifact."""
     hit = _ATTACHED.get(nfp)
@@ -1262,12 +1473,14 @@ def _attach(kernel: LoopKernel, fp: str, tc: Toolchain, nfp: str):
             _diag(kernel, f"native build failed: {exc.detail()}", warning=True)
             result = _Failure(exc.detail())
             break
+        so_path = _so_path(root, nfp, meta)
         try:
-            lib = np.ctypeslib.load_library(nfp, root)
+            lib = ctypes.CDLL(so_path)
             result = _module_from(lib, meta, kernel)
         except (OSError, AttributeError) as exc:
-            # Unloadable artifact (truncated by a crash, foreign file):
-            # evict and rebuild once, then give up gracefully.
+            # Unloadable artifact (truncated by a crash, foreign file,
+            # a batch .so missing this member's symbols): evict and
+            # rebuild once, then give up gracefully.
             _evict(root, nfp)
             if attempt == 0:
                 continue
@@ -1281,7 +1494,7 @@ def _attach(kernel: LoopKernel, fp: str, tc: Toolchain, nfp: str):
     assert result is not None
     if isinstance(result, _NativeModule):
         try:
-            os.utime(_paths(root, nfp)["so"])  # LRU recency
+            os.utime(_so_path(root, nfp, result.meta))  # LRU recency
         except OSError:
             pass
         _prune(root)
@@ -1290,11 +1503,14 @@ def _attach(kernel: LoopKernel, fp: str, tc: Toolchain, nfp: str):
 
 
 def _module_from(lib, meta: dict, kernel: LoopKernel) -> _NativeModule:
-    scalar_run = _make_scalar_runner(lib, kernel)
+    prefix = meta.get("prefix") or "repro_"
+    scalar_run = _make_scalar_runner(lib, kernel, symbol=f"{prefix}scalar")
     lanes = frozenset(meta.get("lanes", ()))
     vector_run = None
     if meta.get("vector") == "exact":
-        vector_run = _make_vector_runner(lib, kernel, lanes)
+        vector_run = _make_vector_runner(
+            lib, kernel, lanes, symbol=f"{prefix}vector"
+        )
     return _NativeModule(lib, meta, scalar_run, vector_run, lanes)
 
 
@@ -1330,11 +1546,11 @@ def _marshal_bufs(arr_decls, bufs):
     return bufp
 
 
-def _make_scalar_runner(lib, kernel: LoopKernel):
-    """Wrap ``repro_scalar`` in the CompiledKernel ``fn`` calling
+def _make_scalar_runner(lib, kernel: LoopKernel, symbol: str = "repro_scalar"):
+    """Wrap the scalar entry in the CompiledKernel ``fn`` calling
     convention: ``fn(bufs, env, inner_trip, outer_trip) -> (env_out,
     (order, seen, taken), iterations)``."""
-    fn = lib.repro_scalar
+    fn = getattr(lib, symbol)
     fn.restype = ctypes.c_int64
     fn.argtypes = [_VOIDPP, _VOIDPP, ctypes.c_int64, ctypes.c_int64] + [
         _I64P
@@ -1413,15 +1629,17 @@ def _make_scalar_runner(lib, kernel: LoopKernel):
     return run
 
 
-def _make_vector_runner(lib, kernel: LoopKernel, lanes: frozenset):
-    """Wrap ``repro_vector``: runs the vectorized lane blocks in place.
+def _make_vector_runner(
+    lib, kernel: LoopKernel, lanes: frozenset, symbol: str = "repro_vector"
+):
+    """Wrap the vector entry: runs the vectorized lane blocks in place.
 
     Lane-expanded scalars (reductions/privates) are mutated in their
     numpy arrays; parameters are passed by value.  Raises
     :class:`CompileError` on marshal problems *before* any mutation, so
     the caller can silently fall back to the Python block loop.
     """
-    fn = lib.repro_vector
+    fn = getattr(lib, symbol)
     fn.restype = ctypes.c_int64
     fn.argtypes = [_VOIDPP, _VOIDPP, ctypes.c_int64, ctypes.c_int64] + [
         _I64P

@@ -108,7 +108,17 @@ def get_kernel(name: str, dims: Dims = STANDARD_DIMS) -> LoopKernel:
     try:
         return _REGISTRY[name].build(dims)
     except KeyError:
-        raise KeyError(f"unknown TSVC kernel {name!r}") from None
+        pass
+    # Synthetic corpus kernels (``gx{seed}_{index}_{category}``) resolve
+    # through the generator; they carry their own sizes, so ``dims`` is
+    # ignored.  The delegation is what lets pool workers, checkpoint
+    # journals, and the chaos harness rebuild generated kernels by name
+    # exactly like suite kernels.
+    from ..gen import generate_kernel, is_generated_name
+
+    if is_generated_name(name):
+        return generate_kernel(name)
+    raise KeyError(f"unknown TSVC kernel {name!r}") from None
 
 
 def get_entry(name: str) -> KernelEntry:

@@ -1,0 +1,222 @@
+"""Corpus-scale machinery tests: batched native translation units
+(:func:`repro.sim.prebuild_native`), the sharded sweep orchestrator
+(:mod:`repro.pipeline.corpus`), and the E13 plumbing on top.
+
+The load-bearing property throughout is *bit-identity*: batching,
+sharding, streaming, and resumption are allowed to change wall-clock
+and peak memory, never a single measured float.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.experiments import ARM_LLV
+from repro.experiments.corpus import corpus_kernel_names, e13_sizes
+from repro.gen import clear_gen_memo, corpus_names, generate_kernel
+from repro.pipeline import (
+    MeasurementCache,
+    estimate_kernel_work,
+    measure_corpus,
+    partition_names,
+)
+from repro.pipeline.faultinject import _samples_equal
+from repro.sim import native, prebuild_native
+from repro.tsvc import kernel_names
+
+HAVE_CC = native.find_toolchain() is not None
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no usable C toolchain")
+
+
+def nocache() -> MeasurementCache:
+    return MeasurementCache(root="/nonexistent", enabled=False)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_gen_memo()
+    native.reset_native_state()
+    yield
+    clear_gen_memo()
+    native.reset_native_state()
+
+
+class TestPartition:
+    def test_concatenation_preserves_order(self):
+        names = [f"k{i}" for i in range(17)]
+        for shards in (1, 2, 3, 5, 17, 40):
+            blocks = partition_names(names, shards)
+            assert [n for b in blocks for n in b] == names
+
+    def test_near_even(self):
+        blocks = partition_names([f"k{i}" for i in range(17)], 5)
+        sizes = [len(b) for b in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_degenerate_inputs(self):
+        assert partition_names([], 4) == []
+        assert partition_names(["a"], 4) == [["a"]]
+        assert partition_names(["a", "b"], 0) == [["a", "b"]]
+
+
+class TestCorpusNames:
+    def test_suite_first_then_generated(self):
+        suite = sorted(kernel_names())
+        names = corpus_kernel_names(len(suite) + 10)
+        assert names[: len(suite)] == suite
+        assert names[len(suite) :] == corpus_names(10, seed=0)
+
+    def test_truncates_small_sizes(self):
+        names = corpus_kernel_names(5)
+        assert names == sorted(kernel_names())[:5]
+
+    def test_sizes_are_nested(self):
+        small, large = corpus_kernel_names(170), corpus_kernel_names(200)
+        assert large[: len(small)] == small
+
+    def test_e13_sizes_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_E13_SIZES", "40, 20 30")
+        assert e13_sizes() == (20, 30, 40)
+        monkeypatch.setenv("REPRO_E13_SIZES", "")
+        assert len(e13_sizes()) >= 4  # the default learning curve
+
+
+class TestShardedBitIdentity:
+    NAMES = sorted(kernel_names())[:8] + corpus_names(10, seed=3)
+
+    def _serial(self):
+        return measure_corpus(
+            self.NAMES, ARM_LLV, shards=1, workers=1,
+            supervise=False, cache=nocache(),
+        )
+
+    def test_sharded_equals_serial(self):
+        serial = self._serial()
+        sharded = measure_corpus(
+            self.NAMES, ARM_LLV, shards=4, workers=1,
+            supervise=False, cache=nocache(),
+        )
+        assert sharded.shards == 4
+        assert _samples_equal(serial.samples, sharded.samples)
+        assert serial.failures == sharded.failures
+        assert not sharded.quarantined_names
+
+    def test_streamed_merge_equals_in_memory(self, tmp_path):
+        serial = self._serial()
+        streamed = measure_corpus(
+            self.NAMES, ARM_LLV, shards=3, workers=1,
+            supervise=False, cache=nocache(), stream_dir=str(tmp_path),
+        )
+        assert _samples_equal(serial.samples, streamed.samples)
+        files = sorted(os.listdir(tmp_path))
+        assert files == [f"shard-{k:04d}-of-0003.pkl" for k in range(3)]
+        with open(tmp_path / files[0], "rb") as fh:
+            samples, _ = pickle.load(fh)
+        assert [s.name for s in samples] == [
+            s.name for s in serial.samples[: len(samples)]
+        ]
+
+    def test_per_shard_stats_are_collected(self):
+        res = measure_corpus(
+            self.NAMES, ARM_LLV, shards=2, workers=1,
+            supervise=False, cache=nocache(),
+        )
+        assert len(res.shard_stats) == 2
+
+
+class TestWorkEstimate:
+    def test_batching_amortizes_native_build_cost(self, monkeypatch):
+        from repro.gen import gen_name
+
+        # Guarded kernel: only guard-probability estimation executes
+        # the kernel, so only guarded kernels carry a build term.
+        kern = generate_kernel(gen_name(0, 0, "control-flow"))
+        monkeypatch.setenv("REPRO_NATIVE_BATCH", "1")
+        solo = estimate_kernel_work(kern)
+        monkeypatch.setenv("REPRO_NATIVE_BATCH", "24")
+        batched = estimate_kernel_work(kern)
+        if not native.native_enabled() or not HAVE_CC:
+            pytest.skip("native tier disabled; estimate has no build term")
+        assert batched < solo
+        # The build term shrinks ~linearly with the batch size.
+        assert solo - batched > 1000
+
+
+@needs_cc
+class TestPrebuildNative:
+    def kernels(self, n=6, seed=11):
+        return [generate_kernel(nm) for nm in corpus_names(n, seed=seed)]
+
+    def test_one_so_per_batch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NATIVE_BATCH", "8")
+        native.reset_native_state()
+        statuses = prebuild_native(self.kernels())
+        assert statuses
+        assert all(
+            v in ("exact", "tolerance") or v.startswith("unsupported")
+            for v in statuses.values()
+        ), statuses
+        sos = [f for f in os.listdir(tmp_path) if f.endswith(".so")]
+        assert len(sos) == 1 and sos[0].startswith("batch-")
+
+    def test_second_call_is_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NATIVE_BATCH", "8")
+        native.reset_native_state()
+        kerns = self.kernels()
+        prebuild_native(kerns)
+        native.reset_native_state()
+        again = prebuild_native(kerns)
+        assert set(again.values()) == {"cached"}
+
+    def test_batch_members_run_bit_identical_to_interpreter(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.sim import (
+            bit_identical,
+            initial_scalars,
+            make_buffers,
+            run_scalar,
+            run_scalar_interpreted,
+        )
+
+        monkeypatch.setenv("REPRO_NATIVE_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NATIVE_BATCH", "8")
+        native.reset_native_state()
+        kerns = self.kernels(4, seed=13)
+        prebuild_native(kerns)
+        for k in kerns:
+            bufs_n = make_buffers(k, seed=2)
+            bufs_i = make_buffers(k, seed=2)
+            res_n = run_scalar(k, bufs_n, initial_scalars(k))
+            res_i = run_scalar_interpreted(k, bufs_i, initial_scalars(k))
+            assert bit_identical(res_n, bufs_n, res_i, bufs_i), k.name
+
+    def test_batch_disabled_by_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NATIVE_BATCH", "1")
+        native.reset_native_state()
+        assert prebuild_native(self.kernels(3)) == {}
+
+
+class TestChaosCorpusGate:
+    def test_faulted_sharded_corpus_converges(self):
+        from repro.pipeline import RetryPolicy, parse_faults
+
+        names = sorted(kernel_names())[:4] + corpus_names(8, seed=3)
+        clean = measure_corpus(
+            names, ARM_LLV, shards=1, workers=1,
+            supervise=False, cache=nocache(),
+        )
+        chaotic = measure_corpus(
+            names, ARM_LLV, shards=3, workers=2, cache=nocache(),
+            faults=parse_faults("crash:0.1,flaky_exc:0.15", seed=5),
+            retry=RetryPolicy(max_attempts=6, base_delay=0.01),
+        )
+        assert _samples_equal(clean.samples, chaotic.samples)
+        assert clean.failures == chaotic.failures
+        assert not chaotic.quarantined_names

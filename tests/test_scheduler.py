@@ -22,7 +22,7 @@ from repro.experiments.scheduler import (
     normalize_ids,
     required_specs,
 )
-from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.registry import EXPERIMENTS, EXPLICIT_ONLY
 from repro.fitting import LeastSquares, NonNegativeLeastSquares
 
 #: A cheap cross-section: ARM drivers, an x86 driver, a shared-fit
@@ -40,8 +40,14 @@ def _fresh_engine():
 
 class TestNormalizeIds:
     def test_all_is_registry_order(self):
-        assert normalize_ids(None) == list(EXPERIMENTS)
-        assert normalize_ids(["all"]) == list(EXPERIMENTS)
+        default = [e for e in EXPERIMENTS if e not in EXPLICIT_ONLY]
+        assert normalize_ids(None) == default
+        assert normalize_ids(["all"]) == default
+
+    def test_explicit_only_runs_when_named(self):
+        assert "E13" in EXPLICIT_ONLY
+        assert "E13" not in normalize_ids(["all"])
+        assert normalize_ids(["E13"]) == ["E13"]
 
     def test_dedupe_and_registry_order(self):
         assert normalize_ids(["e9", "E1", "E9", "e1"]) == ["E1", "E9"]
