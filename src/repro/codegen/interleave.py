@@ -1,0 +1,102 @@
+"""Interleaving as a stream transform.
+
+LLVM's loop vectorizer can *interleave* a vectorized loop: advance
+``ic`` vector iterations per loop iteration, each with its own
+register set, so independent chains overlap and a loop-carried
+reduction splits into ``ic`` private accumulators combined once at
+the end.  The measurement pipeline models that here as a pure
+:class:`~repro.codegen.minstr.MStream` transform — no IR rewriting —
+so both the machine-level and the IR-level (feature) views of a plan
+point can be interleaved identically:
+
+* the steady-state body is replicated ``ic`` times with fresh ids;
+* an intra-copy edge stays intra-copy;
+* a *self*-carried edge (an instruction depending on itself at
+  distance 1 — the reduction-accumulator shape) stays self-carried in
+  every copy: each copy owns a private accumulator, which is exactly
+  the reassociation interleaving performs, and is what divides the
+  recurrence bound by ``ic``;
+* any other carried edge with distance ``d`` (cross-instruction
+  memory or value recurrences, *not* reassociable) is remapped
+  exactly: the consumer in copy ``c`` reads the producer of original
+  iteration ``c - d``, which lands in copy ``(c - d) mod ic`` either
+  intra-iteration (``c - d >= 0``) or carried at the ceiling-divided
+  distance — a serial chain therefore stays serial through the
+  copies and gains nothing, as on hardware;
+* prologue/epilogue are replicated per copy (per-copy accumulator
+  setup and horizontal combine), amortized over the reduced
+  iteration count as usual;
+* affine access strides scale by ``ic`` so the group-aware traffic
+  accounting charges the ``ic``-wide window one new iteration sweeps.
+
+``iters`` must be divisible by ``ic`` (the enumeration in
+:mod:`repro.vectorize.plan` guarantees it), so the transform is exact:
+no interleave remainder is ever silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .minstr import MInstr, MStream
+
+
+def _remap_edges(ins: MInstr, c: int, ic: int, stride: int) -> MInstr:
+    """Edges of copy ``c`` of ``ins`` (ids already offset by c*stride)."""
+    srcs = tuple(s + c * stride for s in ins.srcs)
+    extra_srcs: list[int] = []
+    carried: list[tuple[int, int]] = []
+    for producer, dist in ins.carried:
+        if producer == ins.id and dist == 1:
+            # Reduction-accumulator shape: private per-copy chain.
+            carried.append((producer + c * stride, 1))
+            continue
+        src_iter = c - dist  # original-iteration index of the producer
+        q, src_copy = divmod(src_iter, ic)
+        if q == 0:
+            extra_srcs.append(producer + src_copy * stride)
+        else:
+            carried.append((producer + src_copy * stride, -q))
+    return replace(
+        ins,
+        id=ins.id + c * stride,
+        srcs=srcs + tuple(extra_srcs),
+        carried=tuple(carried),
+        mem_stride=(
+            ins.mem_stride * ic if ins.mem_stride not in (None, 0) else ins.mem_stride
+        ),
+    )
+
+
+def interleave_stream(stream: MStream, ic: int) -> MStream:
+    """``stream`` with ``ic`` interleaved copies of its body.
+
+    Returns a new stream retiring ``ic * elems_per_iter`` elements per
+    iteration over ``iters // ic`` iterations; the input is untouched.
+    """
+    if ic < 1:
+        raise ValueError(f"interleave count must be >= 1, got {ic}")
+    if ic == 1:
+        return stream
+    if stream.iters % ic:
+        raise ValueError(
+            f"interleave {ic} does not divide {stream.iters} iterations "
+            f"of {stream.name!r}"
+        )
+    stride = max((i.id for i in stream.all_instrs()), default=-1) + 1
+    out = MStream(
+        name=f"{stream.name}.ic{ic}",
+        iters=stream.iters // ic,
+        elems_per_iter=stream.elems_per_iter * ic,
+        remainder=stream.remainder,
+        working_set_bytes=stream.working_set_bytes,
+    )
+    for c in range(ic):
+        out.body.extend(_remap_edges(ins, c, ic, stride) for ins in stream.body)
+        out.prologue.extend(
+            replace(ins, id=ins.id + c * stride) for ins in stream.prologue
+        )
+        out.epilogue.extend(
+            replace(ins, id=ins.id + c * stride) for ins in stream.epilogue
+        )
+    return out

@@ -1,0 +1,157 @@
+"""Materialize and measure individual plan points.
+
+A :class:`~repro.vectorize.plan.PlanPoint` names a transformation
+recipe; this module runs it through the existing pipeline stages —
+pre-vectorization unroll (:mod:`repro.vectorize.unroll`), the LLV/SLP
+vectorizers, machine lowering, and the interleave stream transform —
+and times the result with the same analytic model the measurement
+harness uses.  The scalar baseline is always the *original* kernel, so
+every point's speedup is comparable and the scalar point is exactly
+1.0 by construction.
+
+Remainder accounting: the vector stream of an unrolled-by-``u`` kernel
+counts its remainder in *unrolled* iterations, each worth ``u``
+original scalar iterations — the tail therefore costs
+``remainder * u`` original scalar iterations at the original kernel's
+per-iteration rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..codegen.interleave import interleave_stream
+from ..codegen.minstr import MStream
+from ..codegen.scalar_gen import lower_scalar
+from ..codegen.slp_gen import lower_slp
+from ..codegen.vector_gen import lower_vector
+from ..ir.kernel import LoopKernel
+from ..sim.measure import estimate_guard_probs
+from ..sim.timing import analyze_stream
+from ..targets.base import Target
+from ..vectorize.llv import vectorize_loop
+from ..vectorize.plan import (
+    PlanPoint,
+    VectorizationFailure,
+    VectorizationPlan,
+    is_plan,
+)
+from ..vectorize.slp import slp_vectorize
+from ..vectorize.unroll import UnrollError, unroll
+
+
+@dataclass(frozen=True)
+class PointMeasurement:
+    """Analytic ground truth for one plan point."""
+
+    point: PlanPoint
+    ok: bool
+    speedup: float = 1.0
+    scalar_cycles: float = 0.0
+    vector_cycles: float = 0.0
+    reason: str = ""
+
+
+def base_kernel(
+    kernel: LoopKernel, u: int, bases: Optional[dict] = None
+) -> LoopKernel:
+    """``kernel`` unrolled by ``u`` (cached in ``bases`` across points)."""
+    if u == 1:
+        return kernel
+    if bases is not None and u in bases:
+        return bases[u]
+    unrolled = unroll(kernel, u)
+    if bases is not None:
+        bases[u] = unrolled
+    return unrolled
+
+
+def materialize_point(
+    kernel: LoopKernel,
+    target: Target,
+    point: PlanPoint,
+    *,
+    bases: Optional[dict] = None,
+) -> Union[VectorizationPlan, VectorizationFailure, None]:
+    """Run the point's recipe through the real vectorizers.
+
+    Returns ``None`` for the scalar point, a plan when the recipe
+    applies, and the vectorizer's :class:`VectorizationFailure` when it
+    refuses — enumeration is expected to have pruned those, but the
+    search degrades per-point instead of trusting that.
+    """
+    if point.is_scalar:
+        return None
+    try:
+        base = base_kernel(kernel, point.unroll, bases)
+    except UnrollError as exc:
+        return VectorizationFailure(kernel, "unroll", str(exc))
+    if point.strategy == "slp":
+        return slp_vectorize(base, target, point.vf)
+    return vectorize_loop(base, target, point.vf)
+
+
+def lower_point(
+    plan: VectorizationPlan, point: PlanPoint, target: Target
+) -> MStream:
+    """The point's machine (or IR, via ``GENERIC_IR``) vector stream."""
+    stream = (
+        lower_slp(plan, target)
+        if plan.kind == "slp"
+        else lower_vector(plan, target)
+    )
+    return interleave_stream(stream, point.interleave)
+
+
+def measure_points(
+    kernel: LoopKernel,
+    target: Target,
+    points: Sequence[PlanPoint],
+    *,
+    guard_probs: Optional[dict] = None,
+    seed: int = 0,
+) -> list[PointMeasurement]:
+    """Analytic measurement of every point, scalar baseline shared.
+
+    Deterministic (no jitter — plan choice must not chase noise) and
+    in input order.
+    """
+    if guard_probs is None:
+        guard_probs = estimate_guard_probs(kernel, seed=seed)
+    sb = analyze_stream(
+        lower_scalar(kernel, target, guard_probs=guard_probs), target
+    )
+    bases: dict = {}
+    out: list[PointMeasurement] = []
+    for point in points:
+        if point.is_scalar:
+            out.append(
+                PointMeasurement(
+                    point, True, 1.0, sb.total, sb.total, "baseline"
+                )
+            )
+            continue
+        result = materialize_point(kernel, target, point, bases=bases)
+        if not is_plan(result):
+            out.append(PointMeasurement(point, False, reason=result.reason))
+            continue
+        try:
+            stream = lower_point(result, point, target)
+        except ValueError as exc:
+            out.append(PointMeasurement(point, False, reason=str(exc)))
+            continue
+        vb = analyze_stream(stream, target)
+        vector_cycles = vb.total + (
+            stream.remainder * point.unroll
+        ) * sb.per_iter
+        out.append(
+            PointMeasurement(
+                point,
+                True,
+                sb.total / max(vector_cycles, 1e-12),
+                sb.total,
+                vector_cycles,
+            )
+        )
+    return out

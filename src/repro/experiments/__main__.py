@@ -14,8 +14,9 @@ analysis CLI instead (see :mod:`.analyze`), ``… chaos`` to the
 fault-injection parity check (see :mod:`repro.pipeline.faultinject`),
 ``… serve`` to the advisor service (see :mod:`repro.serve.server`),
 ``… serve-chaos`` to the service-level chaos gate (see
-:mod:`repro.serve.chaos`), and ``… corpus`` to the sharded synthetic
-corpus sweep (see :mod:`.corpus`).
+:mod:`repro.serve.chaos`), ``… corpus`` to the sharded synthetic
+corpus sweep (see :mod:`.corpus`), and ``… dse`` to the plan-space
+search experiment (see :mod:`repro.dse.experiment`).
 """
 
 from __future__ import annotations
@@ -51,6 +52,10 @@ def main(argv: list[str] | None = None) -> int:
         from .corpus import main as corpus_main
 
         return corpus_main(argv[1:])
+    if argv and argv[0] == "dse":
+        from ..dse.experiment import main as dse_main
+
+        return dse_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's figures (see DESIGN.md §4).",
@@ -59,7 +64,7 @@ def main(argv: list[str] | None = None) -> int:
         "ids",
         nargs="*",
         default=["all"],
-        help="experiment ids (E1..E13) or 'all' (E13 runs only when "
+        help="experiment ids (E1..E14) or 'all' (E13/E14 run only when "
         "named explicitly)",
     )
     parser.add_argument(

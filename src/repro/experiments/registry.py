@@ -8,6 +8,15 @@ from .base import ExperimentResult
 from . import drivers
 from . import corpus as corpus_experiment
 
+
+def _run_e14() -> ExperimentResult:
+    # Imported lazily: repro.dse consumes this package's dataset/base
+    # modules, so a top-level import here would be cyclic.
+    from ..dse.experiment import run_e14
+
+    return run_e14()
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "E1": ("State of the art, ARM (slide 4)", drivers.run_e1),
     "E2": ("Linear modelling example (slide 6)", drivers.run_e2),
@@ -25,12 +34,14 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
         "Learning curves, synthetic corpus (beyond the paper)",
         corpus_experiment.run_e13,
     ),
+    "E14": ("Plan-space DSE regret (beyond the paper)", _run_e14),
 }
 
 #: Experiments that run only when named explicitly — never under
-#: ``all`` / :func:`run_all`.  E13 sweeps a 1,500-kernel corpus; folding
-#: it into the default suite would distort the E1–E12 bench gates.
-EXPLICIT_ONLY: frozenset[str] = frozenset({"E13"})
+#: ``all`` / :func:`run_all`.  E13 sweeps a 1,500-kernel corpus and E14
+#: measures every plan point of every kernel; folding either into the
+#: default suite would distort the E1–E12 bench gates.
+EXPLICIT_ONLY: frozenset[str] = frozenset({"E13", "E14"})
 
 
 def run_experiment(eid: str) -> ExperimentResult:

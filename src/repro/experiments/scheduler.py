@@ -59,6 +59,8 @@ SPEC_REQUIREMENTS: dict[str, tuple[DatasetSpec, ...]] = {
     # deliberately bypasses the suite dataset memo, so nothing to
     # pre-build here.
     "E13": (),
+    # E14 fits its cost oracle on the ARM dataset before searching.
+    "E14": (ARM_LLV,),
 }
 
 

@@ -252,7 +252,7 @@ class ScheduleDecision:
     reason: str
 
 
-def estimate_kernel_work(kernel) -> float:
+def estimate_kernel_work(kernel, *, sweep_points: int = 1) -> float:
     """Estimated cost of one cache-miss measurement, in ~µs of serial time.
 
     The analytic timing model is near-constant; the dominant variable
@@ -260,6 +260,14 @@ def estimate_kernel_work(kernel) -> float:
     up to ``GUARD_SAMPLE_ITERS`` inner iterations — through the kernel
     compiler when enabled, through the tree-walking interpreter when
     ``REPRO_COMPILE=0``.
+
+    ``sweep_points`` models a DSE-style plan sweep over the kernel:
+    beyond the first (already-counted) measurement, each extra plan
+    point pays a unroll/vectorize/lower/analyze pass but *not* another
+    guard-probability run (that is memoized per kernel).  Without this
+    term ``choose_strategy`` prices a 30-point sweep like a single
+    measurement and keeps 1-CPU hosts on phantom pools — or multi-CPU
+    hosts on serial loops — for DSE measurement batches.
     """
     from ..ir.stmt import IfBlock
     from ..sim.compile import compile_enabled
@@ -292,6 +300,8 @@ def estimate_kernel_work(kernel) -> float:
             work += 5000.0 + 0.02 * stmts * inner * outer
         else:
             work += 2.0 * stmts * inner * outer
+    if sweep_points > 1:
+        work += (sweep_points - 1) * (400.0 + 30.0 * stmts)
     return work
 
 

@@ -117,7 +117,9 @@ __all__ = [
 #: 3: batched translation units — sidecar meta gained ``so`` (shared
 #: ``batch-*.so`` membership) and ``prefix`` (per-member symbol names),
 #: and the loader resolves shared objects through the meta.
-NATIVE_SCHEMA = 3
+#: 4: depth-2 vector entries — the vector ABI gained an ``outer``
+#: parameter (one call per outer-loop instance; depth-1 callers pass 0).
+NATIVE_SCHEMA = 4
 
 #: Inner iterations of the build-time interpreter-vs-native check.
 #: Longer than the PR-4 check (16): libm divergence (``expf``) needs a
@@ -442,6 +444,11 @@ class _CEmitter:
 
     def itercode(self, level: int) -> str:
         if self.vector:
+            # The inner level is the lane-blocked one; an enclosing
+            # outer level reads the ``outer`` call parameter (the
+            # entry runs one inner-loop instance per call).
+            if self.depth > 1 and level == 0:
+                return "_outer"
             return "(_s + _l)"
         if self.depth == 1:
             return "_i"
@@ -886,14 +893,14 @@ class _CEmitter:
 
     def gen_vector(self, name: str = "repro_vector") -> str:
         k = self.kernel
-        if self.depth != 1:
-            raise NativeUnsupported("vector entry requires a depth-1 loop")
+        if self.depth > 2:
+            raise NativeUnsupported("vector entry requires depth ≤ 2")
         if any(isinstance(s, IfBlock) for s in k.stmts()):
             raise NativeUnsupported("guarded statements in vector entry")
         pad = " " * len(f"int64_t {name}(")
         self.lines = [
             f"int64_t {name}(void **bufs, void **lanes,",
-            f"{pad}int64_t vf, int64_t vec_trip,",
+            f"{pad}int64_t vf, int64_t vec_trip, int64_t _outer,",
             f"{pad}int64_t *sqrt_fires, int64_t *oob) {{",
         ]
         for j, (name, decl) in enumerate(k.arrays.items()):
@@ -905,7 +912,7 @@ class _CEmitter:
                 self.emit(f"{ct} *L_{name} = ({ct} *)lanes[{j}];")
             else:
                 self.emit(f"{ct} P_{name} = *({ct} *)lanes[{j}];")
-        self.emit("(void)sqrt_fires; (void)oob;")
+        self.emit("(void)sqrt_fires; (void)oob; (void)_outer;")
         self.emit("for (int64_t _s = 0; _s < vec_trip; _s += vf) {")
         self.indent += 1
         for si, s in enumerate(k.body):
@@ -1634,6 +1641,8 @@ def _make_vector_runner(
 ):
     """Wrap the vector entry: runs the vectorized lane blocks in place.
 
+    One call executes the full lane blocks of a single inner-loop
+    instance (``outer`` names which one; depth-1 kernels pass 0).
     Lane-expanded scalars (reductions/privates) are mutated in their
     numpy arrays; parameters are passed by value.  Raises
     :class:`CompileError` on marshal problems *before* any mutation, so
@@ -1641,14 +1650,18 @@ def _make_vector_runner(
     """
     fn = getattr(lib, symbol)
     fn.restype = ctypes.c_int64
-    fn.argtypes = [_VOIDPP, _VOIDPP, ctypes.c_int64, ctypes.c_int64] + [
-        _I64P
-    ] * 2
+    fn.argtypes = [
+        _VOIDPP,
+        _VOIDPP,
+        ctypes.c_int64,
+        ctypes.c_int64,
+        ctypes.c_int64,
+    ] + [_I64P] * 2
     arr_decls = list(kernel.arrays.items())
     sc_decls = list(kernel.scalars.items())
     name = kernel.name
 
-    def run(bufs, lane_env, vf, vec_trip):
+    def run(bufs, lane_env, vf, vec_trip, outer=0):
         bufp = _marshal_bufs(arr_decls, bufs)
         keep = []
         lp = (ctypes.c_void_p * max(1, len(sc_decls)))()
@@ -1682,6 +1695,7 @@ def _make_vector_runner(
             lp,
             int(vf),
             int(vec_trip),
+            int(outer),
             fires.ctypes.data_as(_I64P),
             oob.ctypes.data_as(_I64P),
         )
@@ -1752,7 +1766,11 @@ def _verify_scalar(kernel: LoopKernel, fp: str, runner) -> tuple[str, str]:
 def _verify_vector(kernel: LoopKernel, vrun) -> str:
     """Compare the native vector entry against ``_exec_stmts_vector``
     block-by-block on identical inputs → 'exact' | 'mismatch' |
-    'unsupported: why'.  Only 'exact' is ever used."""
+    'unsupported: why'.  Only 'exact' is ever used.
+
+    Depth-2 kernels run several outer-loop instances so outer-indexed
+    subscripts are exercised (both sides skip the scalar tail, so the
+    comparison stays apples-to-apples)."""
     from ..analysis.framework.passmanager import default_manager
 
     trip = kernel.inner.trip
@@ -1762,6 +1780,8 @@ def _verify_vector(kernel: LoopKernel, vrun) -> str:
     vec_trip = min(trip - trip % vf, 4 * vf)
     if vec_trip <= 0:
         return "unsupported: no full lane block"
+    outer_trip = 1 if kernel.depth == 1 else kernel.loops[0].trip
+    outer_vals = range(min(outer_trip, 3))
     try:
         infos = default_manager().get("scalars", kernel)
         env_in = initial_scalars(kernel)
@@ -1770,11 +1790,16 @@ def _verify_vector(kernel: LoopKernel, vrun) -> str:
         ref_env, _ = make_lane_env(kernel, infos, env_in, vf)
         got_env, _ = make_lane_env(kernel, infos, env_in, vf)
         with np.errstate(all="ignore"):
-            for start in range(0, vec_trip, vf):
-                lanes_arr = np.arange(start, start + vf)
-                ctx = _Ctx(ref_bufs, ref_env, (lanes_arr,))
-                _exec_stmts_vector(kernel, kernel.body, ctx, None, vf)
-        vrun(got_bufs, got_env, vf, vec_trip)
+            for o in outer_vals:
+                for start in range(0, vec_trip, vf):
+                    lanes_arr = np.arange(start, start + vf)
+                    ivals = (
+                        (lanes_arr,) if kernel.depth == 1 else (o, lanes_arr)
+                    )
+                    ctx = _Ctx(ref_bufs, ref_env, ivals)
+                    _exec_stmts_vector(kernel, kernel.body, ctx, None, vf)
+        for o in outer_vals:
+            vrun(got_bufs, got_env, vf, vec_trip, outer=o)
     except Exception as exc:
         return f"unsupported: vector execution failed ({exc!r})"
     for bname in ref_bufs:
@@ -1851,8 +1876,13 @@ def native_compiled(
     return None
 
 
-def try_run_vector_blocks(plan, bufs, lane_env, vf, vec_trip) -> bool:
+def try_run_vector_blocks(plan, bufs, lane_env, vf, vec_trip, outer=0) -> bool:
     """Run ``run_vector``'s full-block loop natively, if possible.
+
+    One call covers the full lane blocks of a single inner-loop
+    instance — ``outer`` names which one (depth-1 callers pass 0; the
+    executor calls once per outer iteration so the Python scalar tail
+    can run between rows, as cross-row dependences require).
 
     Returns False — with *no* buffer mutation — on any refusal
     (tier disabled, no toolchain, no verified vector entry, lane
@@ -1864,7 +1894,7 @@ def try_run_vector_blocks(plan, bufs, lane_env, vf, vec_trip) -> bool:
     kernel = plan.kernel
     if (
         not native_enabled()
-        or kernel.depth != 1
+        or kernel.depth > 2
         or vf > _VF_MAX
         or vec_trip <= 0
     ):
@@ -1885,7 +1915,7 @@ def try_run_vector_blocks(plan, bufs, lane_env, vf, vec_trip) -> bool:
     if plan_lanes != set(mod.lanes):
         return False
     try:
-        mod.vector_run(bufs, lane_env, vf, vec_trip)
+        mod.vector_run(bufs, lane_env, vf, vec_trip, outer=outer)
     except CompileError:
         return False
     _compile._STATS.runs_native_vector += 1

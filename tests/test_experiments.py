@@ -62,7 +62,7 @@ class TestDatasets:
 
 class TestExperimentRegistry:
     def test_registered_experiments(self):
-        assert list(EXPERIMENTS) == [f"E{i}" for i in range(1, 14)]
+        assert list(EXPERIMENTS) == [f"E{i}" for i in range(1, 15)]
 
     def test_unknown_id(self):
         with pytest.raises(KeyError):

@@ -166,6 +166,50 @@ def test_run_vector_native_blocks_parity(monkeypatch):
 
 
 @needs_cc
+def test_run_vector_native_depth2_parity(monkeypatch):
+    """Depth-2 plans route their full lane blocks through the native
+    vector entry — one call per outer row, with the Python scalar tail
+    between rows — and stay bit-identical to the Python block loop.
+
+    The kernel carries a cross-row flow dependence with a ragged inner
+    trip, so any ordering mistake (native blocks of row N+1 before the
+    tail of row N) or outer-index mistranslation changes the bytes.
+    """
+
+    def body(k):
+        aa = k.array("aa", extents=(16, 16))
+        bb = k.array("bb", extents=(16, 16))
+        i = k.loop(15)
+        j = k.loop(13)
+        aa[i + 1, j] = aa[i, j] * 0.5 + bb[i, j]
+
+    kernel = build("n2d", body)
+    plan = vectorize_loop(kernel, ARMV8_NEON)
+    assert isinstance(plan, VectorizationPlan), f"failed: {plan}"
+    b_native = make_buffers(kernel, seed=3)
+    b_python = copy_buffers(b_native)
+    before = compile_summary()["runs_native_vector"]
+    r_native = run_vector(plan, b_native)
+    ran = compile_summary()["runs_native_vector"] - before
+    assert ran == 15, f"expected one native call per outer row, got {ran}"
+
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    native.reset_native_state()
+    r_python = run_vector(plan, b_python)
+    assert r_native.iterations == r_python.iterations
+    for name in b_native:
+        assert b_native[name].tobytes() == b_python[name].tobytes(), (
+            f"buffer {name} diverged"
+        )
+    for name in r_native.scalars:
+        a = np.asarray(r_native.scalars[name])
+        b = np.asarray(r_python.scalars[name])
+        assert a.dtype == b.dtype and a.tobytes() == b.tobytes(), (
+            f"scalar {name} diverged"
+        )
+
+
+@needs_cc
 def test_sqrt_guard_fires_counted_natively():
     """The C tier's ``sqrt(fabs(x))`` guard reports fire counts into
     the same process counter the interpreter uses, one per evaluation."""

@@ -82,6 +82,17 @@ def test_degraded_cell_returns_verdict_with_one_remark(
         fitted_entry.version if with_model else "llvm-static"
     )
 
+    # The advisory plan field rides along exactly when a model is
+    # published: availability degradations never strip it, and it
+    # never adds a degraded clause (asserted via the counts below).
+    if with_model:
+        assert resp["plan"] is not None
+        assert resp["plan"]["label"]
+        assert resp["plan"]["predicted_speedup"] > 0
+        assert resp["plan"]["n_points"] >= 1
+    else:
+        assert resp["plan"] is None
+
     anything_degraded = (
         not toolchain or not with_model or breaker_open or not ranges_on
     )
@@ -131,3 +142,24 @@ def test_verdict_bits_invariant_across_degradations(
             advisor.native_breaker.force_open()
         cores.add(canonical_verdict(advisor.advise({"kernel": GUARDED})))
     assert len(cores) == 1
+
+
+def test_plan_hint_gated_by_prepass_breaker(tmp_path, fitted_entry):
+    """The new cell: an open *prepass* breaker strips the advisory
+    plan (its enumeration leans on the prepass analyses) but leaves
+    the verdict core bit-identical to the healthy cell."""
+    from repro.serve import canonical_verdict
+
+    registry = ModelRegistry(tmp_path / "reg-closed")
+    registry.publish(fitted_entry)
+    healthy = Advisor(registry).advise({"kernel": GUARDED})
+    assert healthy["plan"] is not None
+
+    registry2 = ModelRegistry(tmp_path / "reg-open")
+    registry2.publish(fitted_entry)
+    tripped = Advisor(registry2)
+    tripped.prepass_breaker.force_open()
+    resp = tripped.advise({"kernel": GUARDED})
+    assert resp["plan"] is None
+    assert "analysis prepass skipped (breaker open)" in resp["degraded"]
+    assert canonical_verdict(resp) == canonical_verdict(healthy)
